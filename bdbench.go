@@ -1,0 +1,32 @@
+// Package bdbench is a reference implementation of the benchmark
+// methodology proposed in Rui Han and Xiaoyi Lu, "On Big Data
+// Benchmarking" (2014).
+//
+// The paper argues that credible big-data benchmarks must (1) generate data
+// preserving the 4V properties — volume, velocity, variety, veracity — and
+// (2) generate tests from abstract operations and workload patterns so the
+// same benchmark compares systems of the same and of different types. This
+// module builds that framework end to end, plus every substrate it needs:
+//
+//   - internal/datagen/...   4V data generators (LDA text, profiled tables,
+//     Kronecker/BA graphs, rate-controlled streams, web logs, resumes,
+//     media) and the §5.1 veracity metrics;
+//   - internal/testgen       abstract operations, workload patterns,
+//     prescriptions and stack binders (Figure 4);
+//   - internal/stacks/...    five simulated software stacks: MapReduce,
+//     relational DBMS, NoSQL store, streaming dataflow, BSP graph engine;
+//   - internal/workloads/... the workload inventory of the paper's Table 2
+//     (micro, search, social, e-commerce, OLTP, relational, streaming);
+//   - internal/suites        executable emulations of the ten surveyed
+//     benchmark suites, from which Tables 1 and 2 are re-derived by
+//     measurement;
+//   - internal/core          the five-step benchmarking process of Figure 1
+//     and the layered architecture of Figure 2.
+//
+// Entry points: the bdbench CLI (cmd/bdbench) regenerates every table and
+// figure; the examples directory shows the public API on domain scenarios;
+// bench_test.go maps each experiment to a testing.B benchmark.
+package bdbench
+
+// Version is the release version of the bdbench module.
+const Version = "1.0.0"

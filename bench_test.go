@@ -1,0 +1,427 @@
+// Benchmarks regenerating every table and figure of "On Big Data
+// Benchmarking", plus the quantitative experiments of DESIGN.md and
+// microbenchmarks of the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+package bdbench_test
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/core"
+	"github.com/bdbench/bdbench/internal/datagen/graphgen"
+	"github.com/bdbench/bdbench/internal/datagen/streamgen"
+	"github.com/bdbench/bdbench/internal/datagen/tablegen"
+	"github.com/bdbench/bdbench/internal/datagen/textgen"
+	"github.com/bdbench/bdbench/internal/datagen/veracity"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks/dbms"
+	"github.com/bdbench/bdbench/internal/stacks/graphengine"
+	"github.com/bdbench/bdbench/internal/stacks/mapreduce"
+	"github.com/bdbench/bdbench/internal/stacks/nosql"
+	"github.com/bdbench/bdbench/internal/stacks/streaming"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/suites"
+	"github.com/bdbench/bdbench/internal/testgen"
+	"github.com/bdbench/bdbench/internal/workloads"
+	"github.com/bdbench/bdbench/internal/workloads/oltp"
+	"github.com/bdbench/bdbench/internal/workloads/relational"
+	"github.com/bdbench/bdbench/internal/workloads/social"
+	"github.com/bdbench/bdbench/internal/workloads/streamwl"
+)
+
+// ---- E5: Table 1 ----
+
+// BenchmarkTable1DataGeneration derives the full Table 1 (volume, velocity,
+// variety, veracity probes over all eleven suites).
+func BenchmarkTable1DataGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := suites.DeriveTable1(900)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diffs := suites.CompareToPaper(rows); len(diffs) != 0 {
+			b.Fatalf("disagrees with paper: %v", diffs)
+		}
+	}
+}
+
+// ---- E6: Table 2 ----
+
+// BenchmarkTable2Workloads executes one representative suite inventory per
+// iteration (GridMix: the smallest full row of Table 2).
+func BenchmarkTable2Workloads(b *testing.B) {
+	suite, _ := suites.ByName("GridMix")
+	for i := 0; i < b.N; i++ {
+		results := suites.RunSuite(suite, workloads.Params{Seed: 1, Scale: 1, Workers: 4})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// ---- E1: Figure 1 ----
+
+// BenchmarkFigure1Process runs the five-step benchmarking process.
+func BenchmarkFigure1Process(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := core.Run(core.Plan{Object: "bench", Suite: "GridMix", Scale: 1, Workers: 4, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Steps) != 5 {
+			b.Fatal("process did not execute five steps")
+		}
+	}
+}
+
+// ---- E2: Figure 2 ----
+
+// BenchmarkFigure2Architecture renders the layered architecture; it mostly
+// documents that the figure is an executable artifact.
+func BenchmarkFigure2Architecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(core.FormatArchitecture(core.Architecture())) == 0 {
+			b.Fatal("empty architecture")
+		}
+	}
+}
+
+// ---- E3: Figure 3 ----
+
+// BenchmarkFigure3DataGeneration runs the four-step data generation process
+// for the text data type.
+func BenchmarkFigure3DataGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := core.TextDataGenProcess(1, 300, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Steps) != 4 {
+			b.Fatal("process did not execute four steps")
+		}
+	}
+}
+
+// ---- E4: Figure 4 ----
+
+// BenchmarkFigure4TestGeneration runs the five-step test generation process
+// and the cross-stack portability check.
+func BenchmarkFigure4TestGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pl := testgen.NewPipeline()
+		tests, err := pl.Generate(
+			testgen.DataSpec{Source: "words", Size: 1000, Seed: 4},
+			[]testgen.Step{{Op: "select", Arg: "data"}, {Op: "count"}},
+			testgen.MultiPattern, "", 0,
+			testgen.DefaultExecutors(4),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := testgen.VerifyPortability(tests[0].Prescription, pl.Registry, testgen.DefaultExecutors(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E7: velocity via parallel generation ----
+
+// BenchmarkVelocityParallelScaling measures table generation rate as the
+// worker count doubles (the paper's parallel-deployment velocity knob).
+func BenchmarkVelocityParallelScaling(b *testing.B) {
+	spec := tablegen.ReferenceSpec(1)
+	spec.ChunkSize = 1024
+	maxW := runtime.GOMAXPROCS(0)
+	for w := 1; w <= maxW; w *= 2 {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab := spec.GenerateParallel(50_000, w)
+				if tab.NumRows() != 50_000 {
+					b.Fatal("wrong row count")
+				}
+			}
+			b.ReportMetric(float64(50_000*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// ---- E8: velocity via algorithm efficiency (§5.1) ----
+
+// BenchmarkVelocityAlgorithmKnob compares the BA generator's memory-heavy
+// (fast) and memory-light (slow) modes.
+func BenchmarkVelocityAlgorithmKnob(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    graphgen.MemoryMode
+	}{{"memory-heavy", graphgen.MemoryHeavy}, {"memory-light", graphgen.MemoryLight}} {
+		b.Run(mode.name, func(b *testing.B) {
+			gen := graphgen.BarabasiAlbert{M: 4, Mode: mode.m}
+			var edges int
+			for i := 0; i < b.N; i++ {
+				g := gen.Generate(stats.NewRNG(2), 12)
+				edges = g.NumEdges()
+			}
+			b.ReportMetric(float64(edges*b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
+}
+
+// ---- E9: veracity metrics ----
+
+// BenchmarkVeracityMetrics measures the cost of the §5.1 veracity
+// comparison for each data type.
+func BenchmarkVeracityMetrics(b *testing.B) {
+	rawText := textgen.ReferenceCorpus(1, 150, 60)
+	synText := textgen.ReferenceCorpus(2, 150, 60)
+	rawTab := tablegen.ReferenceTable(3, 4000)
+	synTab := tablegen.ReferenceTable(4, 4000)
+	rawG := graphgen.DefaultRMAT.Generate(stats.NewRNG(5), 11)
+	synG := graphgen.DefaultRMAT.Generate(stats.NewRNG(6), 11)
+	b.Run("text", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := veracity.Text(rawText, synText); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := veracity.Table(rawTab, synTab, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := veracity.Graph(rawG, synG); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E10: abstract test portability ----
+
+// BenchmarkAbstractTestPortability runs the same prescription on each stack
+// type separately so their costs are directly comparable.
+func BenchmarkAbstractTestPortability(b *testing.B) {
+	reg := testgen.NewRegistry()
+	repo := testgen.NewRepository()
+	p, err := repo.Get("select-count")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, factory := range testgen.DefaultExecutors(4) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := metrics.NewCollector(name)
+				if _, err := testgen.RunOn(factory(), p, reg, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E11: YCSB ----
+
+// BenchmarkYCSBWorkloads runs each core workload A-F.
+func BenchmarkYCSBWorkloads(b *testing.B) {
+	for _, w := range oltp.All() {
+		b.Run(w.Label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := metrics.NewCollector(w.Name())
+				if err := w.Run(workloads.Params{Seed: 6, Scale: 1, Workers: 4}, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E12: Pavlo comparison ----
+
+// BenchmarkPavloComparison runs the select/aggregate/join task set on the
+// DBMS and on MapReduce; the DBMS should win at this (indexed, small) scale.
+func BenchmarkPavloComparison(b *testing.B) {
+	b.Run("dbms", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := metrics.NewCollector("dbms")
+			if err := (relational.LoadSelectAggregateJoin{}).Run(workloads.Params{Seed: 7, Scale: 1, Workers: 4}, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mapreduce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := metrics.NewCollector("mr")
+			if err := (relational.MapReduceEquivalents{}).Run(workloads.Params{Seed: 7, Scale: 1, Workers: 4}, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E13: workload categories ----
+
+// BenchmarkWorkloadCategories runs one representative workload per §4.2
+// category.
+func BenchmarkWorkloadCategories(b *testing.B) {
+	reps := []struct {
+		name string
+		w    workloads.Workload
+	}{
+		{"online-ycsbC", oltp.WorkloadC},
+		{"offline-kmeans", social.KMeans{}},
+		{"realtime-windowed", streamwl.WindowedCount{}},
+	}
+	for _, rep := range reps {
+		b.Run(rep.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := metrics.NewCollector(rep.name)
+				if err := rep.w.Run(workloads.Params{Seed: 8, Scale: 1, Workers: 4}, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Substrate microbenchmarks (ablation-level) ----
+
+// BenchmarkMapReduceWordCount measures the MapReduce engine on the
+// canonical job, with and without the combiner (the ablation DESIGN.md
+// calls out for shuffle volume).
+func BenchmarkMapReduceWordCount(b *testing.B) {
+	g := stats.NewRNG(1)
+	dict := textgen.DefaultDictionary()
+	input := make([]mapreduce.KV, 5000)
+	for i := range input {
+		var sb strings.Builder
+		for w := 0; w < 10; w++ {
+			sb.WriteString(dict[g.IntN(len(dict))])
+			sb.WriteByte(' ')
+		}
+		input[i] = mapreduce.KV{Key: strconv.Itoa(i), Value: sb.String()}
+	}
+	job := mapreduce.Job{
+		Name: "wc",
+		Map: func(_, v string, emit func(k, v string)) {
+			for _, w := range strings.Fields(v) {
+				emit(w, "1")
+			}
+		},
+		Reduce: func(k string, vs []string, emit func(k, v string)) {
+			emit(k, strconv.Itoa(len(vs)))
+		},
+	}
+	eng := mapreduce.New(4)
+	b.Run("no-combiner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Run(job, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	withComb := job
+	withComb.Combine = job.Reduce
+	b.Run("with-combiner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Run(withComb, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDBMSQueries measures indexed point lookups, aggregation and
+// joins on the relational substrate.
+func BenchmarkDBMSQueries(b *testing.B) {
+	db := dbms.Open()
+	if err := db.Load(tablegen.ReferenceTable(1, 20000)); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("orders", "order_id"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("point-select-indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf("SELECT price FROM orders WHERE order_id = %d", i%20000+1)
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("group-by", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query("SELECT region, sum(price) AS s FROM orders GROUP BY region"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNoSQLOps measures raw store operation latencies.
+func BenchmarkNoSQLOps(b *testing.B) {
+	store := nosql.Open(8, 1)
+	g := stats.NewRNG(2)
+	for i := 0; i < 100000; i++ {
+		store.Insert(fmt.Sprintf("user%012d", i), nosql.Record{"f": "v"})
+	}
+	b.Run("read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Read(fmt.Sprintf("user%012d", g.IntN(100000)), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan-100", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			store.Scan(fmt.Sprintf("user%012d", g.IntN(100000)), 100)
+		}
+	})
+}
+
+// BenchmarkStreamingWindow measures the streaming engine's sustained rate.
+func BenchmarkStreamingWindow(b *testing.B) {
+	gen := streamgen.Generator{EventsPerSec: 100000, KeySpace: 100}
+	events := gen.Generate(stats.NewRNG(3), 50000)
+	eng := streaming.New(1024)
+	for i := 0; i < b.N; i++ {
+		res := eng.Run(events, streaming.TumblingWindow{Size: 100_000_000})
+		if res.In != 50000 {
+			b.Fatal("lost events")
+		}
+	}
+	b.ReportMetric(float64(50000*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkGraphPageRank measures the BSP engine on an RMAT graph.
+func BenchmarkGraphPageRank(b *testing.B) {
+	g := graphgen.DefaultRMAT.Generate(stats.NewRNG(4), 12)
+	eng := graphengine.New(4)
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(g, graphengine.PageRank{}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLDATraining measures model fitting, the costly step of the
+// Figure 3 pipeline.
+func BenchmarkLDATraining(b *testing.B) {
+	corpus := textgen.ReferenceCorpus(5, 150, 60)
+	for i := 0; i < b.N; i++ {
+		lda := textgen.NewLDA(4, 0, 0)
+		if err := lda.Train(corpus, 20, stats.NewRNG(6)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

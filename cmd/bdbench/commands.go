@@ -1,0 +1,255 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/core"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/report"
+	"github.com/bdbench/bdbench/internal/suites"
+	"github.com/bdbench/bdbench/internal/testgen"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+func cmdTable1(args []string) error {
+	fs := newFlagSet("table1")
+	seed := fs.Uint64("seed", 900, "probe seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := suites.DeriveTable1(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1 — comparison of data generation techniques (derived from probes)")
+	fmt.Println()
+	fmt.Print(suites.FormatTable1(rows))
+	fmt.Println()
+	diffs := suites.CompareToPaper(rows)
+	if len(diffs) == 0 {
+		fmt.Println("agreement with the paper: 10/10 surveyed suites match on every axis")
+	} else {
+		fmt.Printf("disagreements with the paper (%d):\n", len(diffs))
+		for _, d := range diffs {
+			fmt.Println("  -", d)
+		}
+	}
+	fmt.Println()
+	fmt.Println("veracity evidence (divergence; floor = resample, base = veracity-unaware):")
+	for _, r := range rows {
+		for _, d := range r.VeracityEvidence {
+			fmt.Printf("  %-30s %-8s score=%.4f floor=%.4f base=%.4f -> %s\n",
+				r.Benchmark, d.Source, d.Scores.Score, d.Scores.NoiseFloor, d.Scores.Baseline, d.Scores.Level)
+		}
+	}
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	rows := suites.DeriveTable2()
+	fmt.Println("Table 2 — comparison of benchmarking techniques (derived from inventories)")
+	fmt.Println()
+	fmt.Print(suites.FormatTable2(rows))
+	fmt.Println()
+	diffs := suites.CompareTable2ToPaper(rows)
+	if len(diffs) == 0 {
+		fmt.Println("agreement with the paper: all surveyed suites expose the published workload categories")
+	} else {
+		for _, d := range diffs {
+			fmt.Println("  -", d)
+		}
+	}
+	return nil
+}
+
+func cmdFigure1(args []string) error {
+	fs := newFlagSet("figure1")
+	suite := fs.String("suite", "GridMix", "suite to run through the process")
+	scale := fs.Int("scale", 1, "workload scale")
+	workers := fs.Int("workers", 4, "stack parallelism")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Figure 1 — benchmarking process for big data systems")
+	out, err := core.Run(core.Plan{
+		Object:  "figure1 demonstration",
+		Suite:   *suite,
+		Scale:   *scale,
+		Workers: *workers,
+		Seed:    1,
+		Energy:  metrics.DefaultEnergyModel,
+		Cost:    metrics.DefaultCostModel,
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range out.Steps {
+		fmt.Printf("  step %-24s %-55s %v\n", s.Step, s.Detail, s.Duration.Round(time.Millisecond))
+	}
+	fmt.Println()
+	var results []metrics.Result
+	for _, r := range out.Results {
+		results = append(results, r.Result)
+	}
+	fmt.Print(report.Table(
+		[]string{"workload", "elapsed", "ops/s", "p50", "p99"},
+		report.ResultRows(results)))
+	return nil
+}
+
+func cmdFigure2(args []string) error {
+	fmt.Println("Figure 2 — layered architecture of big data benchmarks")
+	fmt.Print(core.FormatArchitecture(core.Architecture()))
+	return nil
+}
+
+func cmdFigure3(args []string) error {
+	fs := newFlagSet("figure3")
+	docs := fs.Int("docs", 500, "synthetic documents to generate")
+	rows := fs.Int64("rows", 5000, "synthetic table rows to generate")
+	workers := fs.Int("workers", 4, "parallel generators")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Figure 3 — the big data generation process")
+	fmt.Println()
+	fmt.Println("text data type:")
+	text, err := core.TextDataGenProcess(1, *docs, *workers)
+	if err != nil {
+		return err
+	}
+	for _, s := range text.Steps {
+		fmt.Printf("  step %d %-26s %-45s %v\n", s.Step, s.Name, s.Detail, s.Duration.Round(time.Millisecond))
+	}
+	fmt.Printf("  veracity: KL(raw||synthetic) = %.4f over the word distribution\n\n", text.Divergence)
+	fmt.Println("table data type:")
+	tab, err := core.TableDataGenProcess(2, *rows, *workers)
+	if err != nil {
+		return err
+	}
+	for _, s := range tab.Steps {
+		fmt.Printf("  step %d %-26s %-45s %v\n", s.Step, s.Name, s.Detail, s.Duration.Round(time.Millisecond))
+	}
+	fmt.Printf("  veracity: mean column divergence = %.4f\n", tab.Divergence)
+	return nil
+}
+
+func cmdFigure4(args []string) error {
+	fs := newFlagSet("figure4")
+	workers := fs.Int("workers", 4, "stack parallelism")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Figure 4 — the benchmark test generation process")
+	pl := testgen.NewPipeline()
+	tests, err := pl.Generate(
+		testgen.DataSpec{Source: "words", Size: 2000, Seed: 4},
+		[]testgen.Step{{Op: "select", Arg: "data"}, {Op: "count"}},
+		testgen.MultiPattern, "", 0,
+		testgen.DefaultExecutors(*workers),
+	)
+	if err != nil {
+		return err
+	}
+	for _, s := range pl.Trace {
+		fmt.Printf("  step %d %-26s %-40s %v\n", s.Step, s.Name, s.Detail, s.Duration.Round(time.Millisecond))
+	}
+	fmt.Println()
+	fmt.Println("prescribed tests (system view — same abstract test per stack):")
+	p := tests[0].Prescription
+	results, err := testgen.VerifyPortability(p, pl.Registry, testgen.DefaultExecutors(*workers))
+	if err != nil {
+		return err
+	}
+	for name, ds := range results {
+		fmt.Printf("  %-10s -> %d records\n", name, len(ds))
+	}
+	fmt.Println("functional view holds: all stacks produced the same outcome")
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := newFlagSet("run")
+	suiteName := fs.String("suite", "BigDataBench", "suite to run")
+	scale := fs.Int("scale", 1, "workload scale")
+	workers := fs.Int("workers", 4, "stack parallelism")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, ok := suites.ByName(*suiteName)
+	if !ok {
+		return fmt.Errorf("unknown suite %q (try 'bdbench suites')", *suiteName)
+	}
+	results := suites.RunSuite(suite, workloads.Params{Seed: *seed, Scale: *scale, Workers: *workers})
+	if *asJSON {
+		out, err := report.JSON(results)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	var rows [][]string
+	failures := 0
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = "FAIL: " + r.Err.Error()
+			failures++
+		}
+		rows = append(rows, []string{
+			r.Workload, string(r.Category),
+			r.Result.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", r.Result.Throughput),
+			status,
+		})
+	}
+	fmt.Print(report.Table([]string{"workload", "category", "elapsed", "ops/s", "status"}, rows))
+	if failures > 0 {
+		return fmt.Errorf("%d workload(s) failed", failures)
+	}
+	return nil
+}
+
+func cmdSuites(args []string) error {
+	var rows [][]string
+	for _, s := range suites.All() {
+		kinds := make([]string, 0, len(s.Sources()))
+		for _, k := range s.Sources() {
+			kinds = append(kinds, string(k))
+		}
+		rows = append(rows, []string{
+			s.Name, s.Ref,
+			fmt.Sprintf("%d", len(s.Workloads())),
+			strings.Join(kinds, ","),
+			strings.Join(s.SoftwareStacks, ","),
+		})
+	}
+	fmt.Print(report.Table([]string{"suite", "ref", "workloads", "sources", "stacks"}, rows))
+	return nil
+}
+
+func cmdPrescriptions(args []string) error {
+	repo := testgen.NewRepository()
+	var rows [][]string
+	for _, name := range repo.Names() {
+		p, err := repo.Get(name)
+		if err != nil {
+			return err
+		}
+		steps := make([]string, len(p.Steps))
+		for i, s := range p.Steps {
+			steps[i] = s.Op
+		}
+		rows = append(rows, []string{
+			p.Name, string(p.Kind), strings.Join(steps, "->"),
+			fmt.Sprintf("%s/%d", p.Data.Source, p.Data.Size),
+		})
+	}
+	fmt.Print(report.Table([]string{"prescription", "pattern", "steps", "data"}, rows))
+	return nil
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/datagen"
+	"github.com/bdbench/bdbench/internal/datagen/graphgen"
+	"github.com/bdbench/bdbench/internal/datagen/streamgen"
+	"github.com/bdbench/bdbench/internal/datagen/tablegen"
+	"github.com/bdbench/bdbench/internal/datagen/veracity"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/report"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/suites"
+	"github.com/bdbench/bdbench/internal/workloads"
+	"github.com/bdbench/bdbench/internal/workloads/oltp"
+	"github.com/bdbench/bdbench/internal/workloads/relational"
+)
+
+// cmdExperiments runs the quantitative experiments E7-E13 of DESIGN.md and
+// prints their series; EXPERIMENTS.md records representative output.
+func cmdExperiments(args []string) error {
+	fs := newFlagSet("experiments")
+	quick := fs.Bool("quick", false, "smaller sizes for a fast pass")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := 1
+	if !*quick {
+		scale = 2
+	}
+	for _, f := range []func(int) error{
+		expVelocityParallel,
+		expVelocityAlgorithmKnob,
+		expVeracityVsSampleSize,
+		expYCSBProfile,
+		expPavloComparison,
+		expWorkloadCategories,
+		expProcessingSpeed,
+	} {
+		if err := f(scale); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// expVelocityParallel is E7: data generation rate vs parallel generators.
+func expVelocityParallel(scale int) error {
+	fmt.Println("E7 — velocity via parallel deployment (rows/s vs workers)")
+	spec := tablegen.ReferenceSpec(1)
+	spec.ChunkSize = 1024
+	rows := int64(100_000 * scale)
+	maxWorkers := runtime.GOMAXPROCS(0)
+	var labels []string
+	var rates []float64
+	for w := 1; w <= maxWorkers; w *= 2 {
+		t0 := time.Now()
+		tab := spec.GenerateParallel(rows, w)
+		rate := float64(tab.NumRows()) / time.Since(t0).Seconds()
+		labels = append(labels, fmt.Sprintf("%d workers", w))
+		rates = append(rates, rate)
+	}
+	fmt.Print(report.BarChart(labels, rates, 40))
+	return nil
+}
+
+// expVelocityAlgorithmKnob is E8 (§5.1): generation speed vs the BA
+// generator's memory mode.
+func expVelocityAlgorithmKnob(scale int) error {
+	fmt.Println("E8 — velocity via algorithm efficiency (graph gen, §5.1)")
+	sc := 12 + scale
+	t0 := time.Now()
+	heavy := graphgen.BarabasiAlbert{M: 4, Mode: graphgen.MemoryHeavy}.Generate(stats.NewRNG(2), sc)
+	heavyDur := time.Since(t0)
+	t1 := time.Now()
+	light := graphgen.BarabasiAlbert{M: 4, Mode: graphgen.MemoryLight}.Generate(stats.NewRNG(2), sc)
+	lightDur := time.Since(t1)
+	fmt.Print(report.BarChart(
+		[]string{"memory-heavy (edges/s)", "memory-light (edges/s)"},
+		[]float64{
+			float64(heavy.NumEdges()) / heavyDur.Seconds(),
+			float64(light.NumEdges()) / lightDur.Seconds(),
+		}, 40))
+	fmt.Printf("speedup from spending memory: %.1fx\n", lightDur.Seconds()/heavyDur.Seconds())
+	return nil
+}
+
+// expVeracityVsSampleSize is E9: divergence of model-based vs unaware
+// generation as sample size grows.
+func expVeracityVsSampleSize(scale int) error {
+	fmt.Println("E9 — veracity metric vs sample size (table data)")
+	raw := tablegen.ReferenceTable(3, int64(4000*scale))
+	full, err := tablegen.BuildSpec(raw, tablegen.VeracityFull, nil, 32, 4)
+	if err != nil {
+		return err
+	}
+	none, err := tablegen.BuildSpec(raw, tablegen.VeracityNone, nil, 32, 5)
+	if err != nil {
+		return err
+	}
+	s := report.Series{Name: "mean column divergence", XLabel: "synthetic rows", YLabel: "divergence"}
+	var baseline report.Series
+	baseline = report.Series{Name: "veracity-unaware baseline", XLabel: "synthetic rows", YLabel: "divergence"}
+	for _, n := range []int64{250, 1000, 4000} {
+		synFull := full.Generate(n * int64(scale))
+		synNone := none.Generate(n * int64(scale))
+		rf, err := veracity.Table(raw, synFull, 32)
+		if err != nil {
+			return err
+		}
+		rn, err := veracity.Table(raw, synNone, 32)
+		if err != nil {
+			return err
+		}
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, rf.Score())
+		baseline.X = append(baseline.X, float64(n))
+		baseline.Y = append(baseline.Y, rn.Score())
+	}
+	fmt.Print(report.FormatSeries(s))
+	fmt.Print(report.FormatSeries(baseline))
+	return nil
+}
+
+// expYCSBProfile is E11: throughput and latency per YCSB workload.
+func expYCSBProfile(scale int) error {
+	fmt.Println("E11 — YCSB core workloads on the NoSQL store")
+	var results []metrics.Result
+	for _, w := range oltp.All() {
+		c := metrics.NewCollector(w.Name())
+		t0 := time.Now()
+		if err := w.Run(workloads.Params{Seed: 6, Scale: scale, Workers: 4}, c); err != nil {
+			return err
+		}
+		c.SetElapsed(time.Since(t0))
+		results = append(results, c.Snapshot())
+	}
+	fmt.Print(report.Table([]string{"workload", "elapsed", "ops/s", "p50", "p99"}, report.ResultRows(results)))
+	return nil
+}
+
+// expPavloComparison is E12: DBMS vs MapReduce on the Pavlo task set.
+func expPavloComparison(scale int) error {
+	fmt.Println("E12 — Pavlo comparison: DBMS vs MapReduce task latencies")
+	run := func(w workloads.Workload) (metrics.Result, error) {
+		c := metrics.NewCollector(w.Name())
+		t0 := time.Now()
+		err := w.Run(workloads.Params{Seed: 7, Scale: scale, Workers: 4}, c)
+		c.SetElapsed(time.Since(t0))
+		return c.Snapshot(), err
+	}
+	db, err := run(relational.LoadSelectAggregateJoin{})
+	if err != nil {
+		return err
+	}
+	mr, err := run(relational.MapReduceEquivalents{})
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, task := range []string{"select", "aggregate", "join"} {
+		find := func(r metrics.Result) string {
+			for _, op := range r.Ops {
+				if op.Op == task {
+					return op.Mean.Round(time.Microsecond).String()
+				}
+			}
+			return "-"
+		}
+		rows = append(rows, []string{task, find(db), find(mr)})
+	}
+	fmt.Print(report.Table([]string{"task", "dbms", "mapreduce"}, rows))
+	return nil
+}
+
+// expWorkloadCategories is E13: throughput profile per workload category.
+func expWorkloadCategories(scale int) error {
+	fmt.Println("E13 — workload category profiles (BigDataBench inventory)")
+	suite, _ := suites.ByName("BigDataBench")
+	results := suites.RunSuite(suite, workloads.Params{Seed: 8, Scale: scale, Workers: 4})
+	perCat := map[workloads.Category][]float64{}
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Workload, r.Err)
+		}
+		perCat[r.Category] = append(perCat[r.Category], r.Result.Throughput)
+	}
+	var labels []string
+	var values []float64
+	for _, cat := range []workloads.Category{workloads.Online, workloads.Offline, workloads.Realtime} {
+		mean := 0.0
+		for _, v := range perCat[cat] {
+			mean += v
+		}
+		if n := len(perCat[cat]); n > 0 {
+			mean /= float64(n)
+		}
+		labels = append(labels, string(cat))
+		values = append(values, mean)
+	}
+	fmt.Print(report.BarChart(labels, values, 40))
+	return nil
+}
+
+// expProcessingSpeed measures velocity-as-processing-speed: the streaming
+// engine's sustainable rate vs the generator's arrival rate.
+func expProcessingSpeed(scale int) error {
+	fmt.Println("E7b — processing speed vs arrival rate (streaming)")
+	gen := streamgen.Generator{EventsPerSec: 50_000, KeySpace: 100}
+	events := gen.Generate(stats.NewRNG(9), int64(50_000*scale))
+	probe := datagen.NewRateProbe()
+	rate := streamgen.MeasureProcessingSpeed(events, func(streamgen.Event) { probe.Add(1) })
+	fmt.Printf("arrival rate (virtual): 50000 ev/s; sustained processing: %.0f ev/s (%.1fx)\n",
+		rate, rate/50_000)
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command bdbench is the benchmark suite's CLI. It regenerates every table
+// and figure of "On Big Data Benchmarking" from the living code and runs
+// suite inventories end to end:
+//
+//	bdbench table1              derive Table 1 from capability probes
+//	bdbench table2              derive Table 2 from workload inventories
+//	bdbench figure1 [-suite S]  run the 5-step benchmarking process
+//	bdbench figure2             print the layered architecture
+//	bdbench figure3             run the 4-step data generation process
+//	bdbench figure4             run the 5-step test generation process
+//	bdbench run -suite S        execute a suite's workload inventory
+//	bdbench suites              list available suite emulations
+//	bdbench prescriptions       list the prescription repository
+//	bdbench experiments         run the quantitative experiment set (E7-E13)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1(args)
+	case "table2":
+		err = cmdTable2(args)
+	case "figure1":
+		err = cmdFigure1(args)
+	case "figure2":
+		err = cmdFigure2(args)
+	case "figure3":
+		err = cmdFigure3(args)
+	case "figure4":
+		err = cmdFigure4(args)
+	case "run":
+		err = cmdRun(args)
+	case "suites":
+		err = cmdSuites(args)
+	case "prescriptions":
+		err = cmdPrescriptions(args)
+	case "experiments":
+		err = cmdExperiments(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "bdbench: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `bdbench — a reference implementation of "On Big Data Benchmarking"
+
+commands:
+  table1          derive Table 1 (data generation techniques) from probes
+  table2          derive Table 2 (benchmarking techniques) from inventories
+  figure1         run the 5-step benchmarking process (use -suite)
+  figure2         print the 3-layer architecture
+  figure3         run the 4-step data generation process (text and table)
+  figure4         run the 5-step test generation process + portability check
+  run             execute one suite's workloads (-suite, -scale, -workers)
+  suites          list the emulated benchmark suites
+  prescriptions   list the reusable prescription repository
+  experiments     run the quantitative experiment set (velocity, veracity, ...)
+`)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}

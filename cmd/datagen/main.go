@@ -1,0 +1,130 @@
+// Command datagen is the standalone 4V data generator: it emits synthetic
+// data sets of any supported source kind to stdout, with volume (-size),
+// velocity (-rate, -updates), variety (-kind, -format) and veracity
+// (-model) under user control — the paper's Function-layer data generators
+// exposed directly.
+//
+//	datagen -kind text -model lda -size 1000 > corpus.txt
+//	datagen -kind table -format csv -size 100000 > orders.csv
+//	datagen -kind graph -size 16 > edges.tsv           (size = log2 vertices)
+//	datagen -kind stream -rate 10000 -updates 0.3 -size 50000 > stream.jsonl
+//	datagen -kind weblog -size 10000 > access.log
+//	datagen -kind resume -size 1000 > resumes.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bdbench/bdbench/internal/datagen/formats"
+	"github.com/bdbench/bdbench/internal/datagen/graphgen"
+	"github.com/bdbench/bdbench/internal/datagen/resume"
+	"github.com/bdbench/bdbench/internal/datagen/streamgen"
+	"github.com/bdbench/bdbench/internal/datagen/tablegen"
+	"github.com/bdbench/bdbench/internal/datagen/textgen"
+	"github.com/bdbench/bdbench/internal/datagen/weblog"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+func main() {
+	kind := flag.String("kind", "text", "data source kind: text|table|graph|stream|weblog|resume")
+	size := flag.Int64("size", 1000, "volume: docs/rows/log2-vertices/events/records")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	model := flag.String("model", "lda", "text model: lda|markov|random (veracity)")
+	format := flag.String("format", "csv", "table format: csv|tsv|jsonl")
+	rate := flag.Float64("rate", 0, "stream generation rate in events/s (velocity; 0 = max)")
+	updates := flag.Float64("updates", 0, "stream update fraction (velocity as update frequency)")
+	workers := flag.Int("workers", 4, "parallel generators")
+	flag.Parse()
+
+	if err := run(*kind, *size, *seed, *model, *format, *rate, *updates, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, size int64, seed uint64, model, format string, rate, updates float64, workers int) error {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch kind {
+	case "text":
+		return genText(w, size, seed, model)
+	case "table":
+		spec := tablegen.ReferenceSpec(seed)
+		tab := spec.GenerateParallel(size, workers)
+		return formats.WriteTable(w, tab, formats.Format(format))
+	case "graph":
+		g := graphgen.DefaultRMAT.Generate(stats.NewRNG(seed), int(size))
+		return formats.WriteEdgeList(w, g)
+	case "stream":
+		gen := streamgen.Generator{
+			EventsPerSec: rate,
+			Arrival:      streamgen.ArrivalPoisson,
+			Mix:          streamgen.Mix{UpdateFraction: updates},
+		}
+		enc := json.NewEncoder(w)
+		for _, ev := range gen.Generate(stats.NewRNG(seed), size) {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "weblog":
+		orders := tablegen.ReferenceTable(seed, 2000)
+		recs, err := weblog.Generator{}.FromTable(stats.NewRNG(seed+1), orders, int(size))
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, weblog.FormatAll(recs))
+		return err
+	case "resume":
+		rs := resume.Generator{}.Generate(stats.NewRNG(seed), int(size))
+		body, err := resume.MarshalJSONL(rs)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, body)
+		return err
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func genText(w *bufio.Writer, size int64, seed uint64, model string) error {
+	switch model {
+	case "lda":
+		raw := textgen.ReferenceCorpus(seed, 200, 60)
+		lda := textgen.NewLDA(4, 0, 0)
+		if err := lda.Train(raw, 25, stats.NewRNG(seed+1)); err != nil {
+			return err
+		}
+		c, err := lda.Generate(stats.NewRNG(seed+2), int(size), 60)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, c.Text())
+		return err
+	case "markov":
+		raw := textgen.ReferenceCorpus(seed, 200, 60)
+		m := textgen.NewMarkov(2)
+		if err := m.Train(raw); err != nil {
+			return err
+		}
+		c, err := m.Generate(stats.NewRNG(seed+2), int(size), 60)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, c.Text())
+		return err
+	case "random":
+		c := textgen.RandomText{Dictionary: textgen.DefaultDictionary()}.
+			Generate(stats.NewRNG(seed+2), int(size), 60)
+		_, err := fmt.Fprintln(w, c.Text())
+		return err
+	default:
+		return fmt.Errorf("unknown text model %q", model)
+	}
+}

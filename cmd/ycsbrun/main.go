@@ -1,0 +1,55 @@
+// Command ycsbrun runs YCSB core workloads against bdbench's NoSQL store
+// and prints throughput and latency percentiles per operation — the
+// cloud-serving row of the paper's Table 2, as a standalone tool.
+//
+//	ycsbrun -workload A -scale 2 -workers 8
+//	ycsbrun -workload all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/report"
+	"github.com/bdbench/bdbench/internal/workloads"
+	"github.com/bdbench/bdbench/internal/workloads/oltp"
+)
+
+func main() {
+	workload := flag.String("workload", "all", "workload label A-F, or 'all'")
+	scale := flag.Int("scale", 1, "scale: x10000 records, x10000 operations")
+	workers := flag.Int("workers", 4, "concurrent client goroutines")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	var selected []oltp.CoreWorkload
+	if strings.EqualFold(*workload, "all") {
+		selected = oltp.All()
+	} else {
+		for _, w := range oltp.All() {
+			if strings.EqualFold(w.Label, *workload) {
+				selected = append(selected, w)
+			}
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "ycsbrun: unknown workload %q (A-F or all)\n", *workload)
+		os.Exit(2)
+	}
+	var results []metrics.Result
+	for _, w := range selected {
+		c := metrics.NewCollector(w.Name())
+		t0 := time.Now()
+		if err := w.Run(workloads.Params{Seed: *seed, Scale: *scale, Workers: *workers}, c); err != nil {
+			fmt.Fprintln(os.Stderr, "ycsbrun:", err)
+			os.Exit(1)
+		}
+		c.SetElapsed(time.Since(t0))
+		results = append(results, c.Snapshot())
+	}
+	fmt.Print(report.Table([]string{"workload", "elapsed", "ops/s", "p50", "p99"}, report.ResultRows(results)))
+}

@@ -1,0 +1,98 @@
+// The ecommerce example walks the e-commerce application domain: generate
+// the orders fact table, derive web logs from it (BigBench-style), answer
+// business questions in SQL on the DBMS substrate, and produce
+// recommendations with item-based collaborative filtering.
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/bdbench/bdbench/internal/datagen/tablegen"
+	"github.com/bdbench/bdbench/internal/datagen/weblog"
+	"github.com/bdbench/bdbench/internal/stacks/dbms"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/workloads/commerce"
+)
+
+func main() {
+	// 1. Structured data: the orders table.
+	orders := tablegen.ReferenceTable(7, 20000)
+
+	// 2. Semi-structured data derived from it: the click log.
+	logs, err := weblog.Generator{}.FromTable(stats.NewRNG(8), orders, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d orders and %d log lines\n", orders.NumRows(), len(logs))
+
+	// 3. SQL analytics on the DBMS substrate.
+	db := dbms.Open()
+	if err := db.Load(orders); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.CreateIndex("orders", "customer_id"); err != nil {
+		log.Fatal(err)
+	}
+	revenue, err := db.Query(
+		"SELECT region, sum(price) AS revenue, count(*) AS n FROM orders GROUP BY region ORDER BY revenue DESC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrevenue by region:")
+	for _, row := range revenue.Rows {
+		fmt.Printf("  %-6s $%12.2f  (%d orders)\n", row[0].Str(), row[1].Float(), row[2].Int())
+	}
+	express, err := db.Query("SELECT count(*) FROM orders WHERE express = true AND region = 'eu'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("express EU orders: %d\n", express.Rows[0][0].Int())
+
+	// 4. Recommendations: item-based CF over a rating matrix.
+	g := stats.NewRNG(9)
+	ratings := commerce.GenerateRatings(g, 2000, 80, 12)
+	vecs := make([]map[int]float64, 80)
+	for i := range vecs {
+		vecs[i] = map[int]float64{}
+	}
+	for _, r := range ratings {
+		vecs[r.Item][r.User] = r.Score
+	}
+	norms := make([]float64, 80)
+	for i, v := range vecs {
+		s := 0.0
+		for _, x := range v {
+			s += x * x
+		}
+		norms[i] = math.Sqrt(s)
+	}
+	sim := func(a, b int) float64 {
+		if norms[a] == 0 || norms[b] == 0 {
+			return 0
+		}
+		dot := 0.0
+		for u, x := range vecs[a] {
+			if y, ok := vecs[b][u]; ok {
+				dot += x * y
+			}
+		}
+		return dot / (norms[a] * norms[b])
+	}
+	fmt.Println("\ntop recommendations for product 3:")
+	for _, item := range commerce.TopNRecommend(sim, 80, 3, 5) {
+		fmt.Printf("  product %2d (similarity %.3f)\n", item, sim(3, item))
+	}
+
+	// Sanity: the recommendations stay within product 3's taste group.
+	inGroup := 0
+	for _, item := range commerce.TopNRecommend(sim, 80, 3, 5) {
+		if item/20 == 3/20 {
+			inGroup++
+		}
+	}
+	fmt.Printf("%d/5 recommendations within the planted taste group\n", inGroup)
+}

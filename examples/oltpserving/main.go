@@ -1,0 +1,55 @@
+// The oltpserving example drives the cloud-serving (OLTP) domain: it loads
+// the NoSQL store, runs YCSB workloads A and B with concurrent clients, and
+// prints the latency profile — then shows the same abstract read/write test
+// executing on both the NoSQL store and the DBMS (the paper's system view).
+//
+//	go run ./examples/oltpserving
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/testgen"
+	"github.com/bdbench/bdbench/internal/workloads"
+	"github.com/bdbench/bdbench/internal/workloads/oltp"
+)
+
+func main() {
+	// YCSB A (update-heavy) and B (read-mostly).
+	for _, w := range []oltp.CoreWorkload{oltp.WorkloadA, oltp.WorkloadB} {
+		c := metrics.NewCollector(w.Name())
+		t0 := time.Now()
+		if err := w.Run(workloads.Params{Seed: 21, Scale: 1, Workers: 8}, c); err != nil {
+			log.Fatal(err)
+		}
+		c.SetElapsed(time.Since(t0))
+		r := c.Snapshot()
+		fmt.Printf("%s: %.0f ops/s\n", r.Name, r.Throughput)
+		for _, op := range r.Ops {
+			if op.Op == "load" {
+				continue
+			}
+			fmt.Printf("  %-7s n=%-7d p50=%-10v p99=%v\n", op.Op, op.Count, op.P50, op.P99)
+		}
+	}
+
+	// The same abstract point-operation test on two different stack types.
+	fmt.Println("\nabstract db-point-ops prescription across stacks (functional view):")
+	repo := testgen.NewRepository()
+	p, err := repo.Get("db-point-ops")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := testgen.NewRegistry()
+	for name, factory := range testgen.DefaultExecutors(4) {
+		c := metrics.NewCollector(name)
+		out, err := testgen.RunOn(factory(), p, reg, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s -> %d record(s), value %q\n", name, len(out), out[0].Value)
+	}
+}

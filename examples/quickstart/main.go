@@ -1,0 +1,43 @@
+// The quickstart example runs one complete benchmarking pass: it builds a
+// plan (Figure 1 step 1), lets bdbench generate data, generate tests,
+// execute them on the simulated stacks, and prints the analyzed results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/core"
+	"github.com/bdbench/bdbench/internal/metrics"
+)
+
+func main() {
+	out, err := core.Run(core.Plan{
+		Object:  "quickstart: is my cluster's batch tier healthy?",
+		Suite:   "GridMix", // small inventory: sort + sampling
+		Scale:   1,
+		Workers: 4,
+		Seed:    2014,
+		Energy:  metrics.DefaultEnergyModel,
+		Cost:    metrics.DefaultCostModel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("benchmarking process (Figure 1):")
+	for _, s := range out.Steps {
+		fmt.Printf("  %-24s %-50s %v\n", s.Step, s.Detail, s.Duration.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nresults:")
+	for _, r := range out.Results {
+		fmt.Printf("  %-12s %-18s %10.0f ops/s  %8.1f J  $%.6f\n",
+			r.Workload, r.Category, r.Result.Throughput,
+			r.Result.EnergyJoules, r.Result.CostUSD)
+	}
+	fmt.Printf("\ndata veracity level of this suite's generators: %s\n", out.VeracityLevel())
+}

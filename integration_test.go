@@ -1,0 +1,109 @@
+package bdbench_test
+
+import (
+	"strings"
+	"testing"
+
+	bdbench "github.com/bdbench/bdbench"
+	"github.com/bdbench/bdbench/internal/core"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/suites"
+	"github.com/bdbench/bdbench/internal/testgen"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+func TestVersion(t *testing.T) {
+	if bdbench.Version == "" {
+		t.Fatal("empty version")
+	}
+}
+
+// TestEndToEndBenchmarkingProcess exercises the full pipeline the paper
+// describes: plan, generate data, generate tests, execute on simulated
+// stacks, analyze — for a suite that touches multiple stack types.
+func TestEndToEndBenchmarkingProcess(t *testing.T) {
+	out, err := core.Run(core.Plan{
+		Object:  "integration",
+		Suite:   "CloudSuite", // NoSQL + Hadoop + text classification
+		Scale:   1,
+		Workers: 2,
+		Seed:    99,
+		Energy:  metrics.DefaultEnergyModel,
+		Cost:    metrics.DefaultCostModel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("results %d, want 4 (CloudSuite inventory)", len(out.Results))
+	}
+	if len(out.Summary) != 2 {
+		t.Fatalf("summary categories %d, want 2 (online + offline)", len(out.Summary))
+	}
+	if got := out.VeracityLevel(); got != "Partially Considered" {
+		t.Fatalf("CloudSuite veracity %s", got)
+	}
+}
+
+// TestTable1EndToEnd re-derives Table 1 with a different probe seed than
+// the unit tests use: the classification must be seed-independent.
+func TestTable1EndToEnd(t *testing.T) {
+	rows, err := suites.DeriveTable1(123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := suites.CompareToPaper(rows); len(diffs) != 0 {
+		t.Fatalf("Table 1 derivation is seed-sensitive:\n  %s", strings.Join(diffs, "\n  "))
+	}
+}
+
+// TestPrescriptionAcrossStacksEndToEnd runs a user-authored prescription
+// (not a built-in) through the Figure 4 pipeline on every stack.
+func TestPrescriptionAcrossStacksEndToEnd(t *testing.T) {
+	pl := testgen.NewPipeline()
+	tests, err := pl.Generate(
+		testgen.DataSpec{Source: "pairs", Size: 800, Seed: 321, SecondSize: 200},
+		[]testgen.Step{
+			{Op: "join", UseSecond: true},
+			{Op: "distinct"},
+			{Op: "count"},
+		},
+		testgen.MultiPattern, "", 0,
+		testgen.DefaultExecutors(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := testgen.VerifyPortability(tests[0].Prescription, pl.Registry, testgen.DefaultExecutors(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := results["reference"]
+	if len(ref) != 1 || ref[0].Key != "count" {
+		t.Fatalf("unexpected reference outcome %v", ref)
+	}
+}
+
+// TestAllSuitesExecutableSmoke runs the two cheapest workloads of every
+// suite to confirm each emulation is wired to real, working runners.
+func TestAllSuitesExecutableSmoke(t *testing.T) {
+	for _, s := range suites.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			ran := 0
+			for _, row := range s.Rows {
+				for _, w := range row.Runners {
+					if ran == 2 {
+						return
+					}
+					c := metrics.NewCollector(w.Name())
+					if err := w.Run(workloads.Params{Seed: 55, Scale: 1, Workers: 2}, c); err != nil {
+						t.Fatalf("%s/%s: %v", s.Name, w.Name(), err)
+					}
+					ran++
+				}
+			}
+		})
+	}
+}

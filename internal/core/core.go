@@ -1,0 +1,183 @@
+// Package core implements the benchmarking process of Figure 1 — Planning →
+// Data Generation → Test Generation → Execution → Analysis & Evaluation —
+// and the three-layer architecture of Figure 2 (user interface layer,
+// function layer, execution layer). It is the orchestration glue over the
+// datagen, testgen, suites, stacks and metrics packages.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/datagen/veracity"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/suites"
+	"github.com/bdbench/bdbench/internal/testgen"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// Plan is the Planning step's outcome: the benchmarking object, application
+// domain and evaluation metrics (§2, Figure 1), expressed as bdbench
+// configuration.
+type Plan struct {
+	// Object names what is being benchmarked (free text for the report).
+	Object string
+	// Suite selects the workload inventory (a suites.All() name).
+	Suite string
+	// Scale and Workers size the run.
+	Scale   int
+	Workers int
+	Seed    uint64
+	// Energy and Cost models annotate results (§3.1's non-performance
+	// metrics). Zero values disable them.
+	Energy metrics.EnergyModel
+	Cost   metrics.CostModel
+}
+
+// Validate checks the plan against the available suites.
+func (p Plan) Validate() error {
+	if p.Suite == "" {
+		return fmt.Errorf("core: plan needs a suite")
+	}
+	if _, ok := suites.ByName(p.Suite); !ok {
+		return fmt.Errorf("core: unknown suite %q", p.Suite)
+	}
+	if p.Scale < 0 || p.Workers < 0 {
+		return fmt.Errorf("core: negative scale or workers")
+	}
+	return nil
+}
+
+// Step names the five steps of Figure 1.
+type Step string
+
+// The benchmarking process steps.
+const (
+	StepPlanning       Step = "planning"
+	StepDataGeneration Step = "data generation"
+	StepTestGeneration Step = "test generation"
+	StepExecution      Step = "execution"
+	StepAnalysis       Step = "analysis & evaluation"
+)
+
+// StepTrace records one executed step.
+type StepTrace struct {
+	Step     Step
+	Detail   string
+	Duration time.Duration
+}
+
+// Outcome is the full result of one benchmarking process run.
+type Outcome struct {
+	Plan    Plan
+	Steps   []StepTrace
+	Results []suites.SuiteRunResult
+	// Summary is the Analysis step's digest: per-category mean throughput.
+	Summary map[workloads.Category]float64
+	// Veracity carries the data-generation step's §5.1 measurements.
+	Veracity []suites.SourceVeracity
+}
+
+// Run executes the five-step benchmarking process for the plan.
+func Run(plan Plan) (*Outcome, error) {
+	out := &Outcome{Plan: plan}
+	record := func(s Step, detail string, t0 time.Time) {
+		out.Steps = append(out.Steps, StepTrace{Step: s, Detail: detail, Duration: time.Since(t0)})
+	}
+
+	// Step 1: Planning — validate the object, domain and metric choices.
+	t0 := time.Now()
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	suite, _ := suites.ByName(plan.Suite)
+	record(StepPlanning, fmt.Sprintf("object=%q suite=%s scale=%d", plan.Object, suite.Name, plan.Scale), t0)
+
+	// Step 2: Data generation — probe the suite's generators (volume and
+	// veracity evidence); workloads regenerate their own inputs at run
+	// time from the same seeds.
+	t1 := time.Now()
+	volume, _ := suites.ProbeVolume(suite)
+	level, details, err := suites.ProbeVeracity(suite, plan.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: data generation: %w", err)
+	}
+	out.Veracity = details
+	record(StepDataGeneration, fmt.Sprintf("volume=%s veracity=%s sources=%d", volume, level, len(suite.Sources())), t1)
+
+	// Step 3: Test generation — materialize the workload inventory and
+	// validate the abstract-test machinery against this suite's stacks.
+	t2 := time.Now()
+	inventory := suite.Workloads()
+	if len(inventory) == 0 {
+		return nil, fmt.Errorf("core: suite %q has no workloads", suite.Name)
+	}
+	record(StepTestGeneration, fmt.Sprintf("%d workloads across %d categories", len(inventory), len(suite.Rows)), t2)
+
+	// Step 4: Execution.
+	t3 := time.Now()
+	params := workloads.Params{Seed: plan.Seed, Scale: plan.Scale, Workers: plan.Workers}.WithDefaults()
+	out.Results = suites.RunSuite(suite, params)
+	record(StepExecution, fmt.Sprintf("%d workloads executed", len(out.Results)), t3)
+
+	// Step 5: Analysis & evaluation.
+	t4 := time.Now()
+	out.Summary = map[workloads.Category]float64{}
+	counts := map[workloads.Category]int{}
+	failures := 0
+	for i := range out.Results {
+		r := &out.Results[i]
+		if r.Err != nil {
+			failures++
+			continue
+		}
+		if plan.Energy.Nodes > 0 || plan.Cost.Nodes > 0 {
+			metrics.Apply(&r.Result, plan.Energy, plan.Cost, r.Result.Elapsed)
+		}
+		out.Summary[r.Category] += r.Result.Throughput
+		counts[r.Category]++
+	}
+	for cat, total := range out.Summary {
+		if counts[cat] > 0 {
+			out.Summary[cat] = total / float64(counts[cat])
+		}
+	}
+	record(StepAnalysis, fmt.Sprintf("%d categories summarized, %d failures", len(out.Summary), failures), t4)
+	if failures > 0 {
+		return out, fmt.Errorf("core: %d workload(s) failed", failures)
+	}
+	return out, nil
+}
+
+// VeracityLevel returns the combined veracity level measured during the
+// data-generation step.
+func (o *Outcome) VeracityLevel() veracity.Level {
+	best := veracity.LevelUnconsidered
+	for _, d := range o.Veracity {
+		switch d.Scores.Level {
+		case veracity.LevelConsidered:
+			best = veracity.LevelConsidered
+		case veracity.LevelPartial:
+			if best == veracity.LevelUnconsidered {
+				best = veracity.LevelPartial
+			}
+		}
+	}
+	return best
+}
+
+// AbstractPortabilityCheck runs one built-in prescription across all stack
+// executors and reports whether the functional view held — the §3.3 system
+// view demonstration wired into the process.
+func AbstractPortabilityCheck(workers int) (bool, error) {
+	pl := testgen.NewPipeline()
+	p, err := pl.Repository.Get("select-count")
+	if err != nil {
+		return false, err
+	}
+	_, err = testgen.VerifyPortability(p, pl.Registry, testgen.DefaultExecutors(workers))
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{}).Validate(); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	if err := (Plan{Suite: "nope"}).Validate(); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+	if err := (Plan{Suite: "GridMix", Scale: -1}).Validate(); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if err := (Plan{Suite: "GridMix"}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFiveSteps(t *testing.T) {
+	out, err := Run(Plan{
+		Object:  "demo",
+		Suite:   "GridMix",
+		Scale:   1,
+		Workers: 2,
+		Seed:    5,
+		Energy:  metrics.DefaultEnergyModel,
+		Cost:    metrics.DefaultCostModel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != 5 {
+		t.Fatalf("steps %d, want 5 (Figure 1)", len(out.Steps))
+	}
+	wantOrder := []Step{StepPlanning, StepDataGeneration, StepTestGeneration, StepExecution, StepAnalysis}
+	for i, s := range out.Steps {
+		if s.Step != wantOrder[i] {
+			t.Fatalf("step %d = %s, want %s", i, s.Step, wantOrder[i])
+		}
+		if s.Detail == "" {
+			t.Fatalf("step %s has no detail", s.Step)
+		}
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("results %d", len(out.Results))
+	}
+	if out.Summary[workloads.Online] <= 0 {
+		t.Fatalf("summary %+v", out.Summary)
+	}
+	// Energy/cost models applied.
+	for _, r := range out.Results {
+		if r.Result.EnergyJoules <= 0 || r.Result.CostUSD <= 0 {
+			t.Fatalf("energy/cost missing on %s", r.Workload)
+		}
+	}
+}
+
+func TestRunInvalidPlan(t *testing.T) {
+	if _, err := Run(Plan{Suite: "missing"}); err == nil {
+		t.Fatal("invalid plan ran")
+	}
+}
+
+func TestOutcomeVeracityLevel(t *testing.T) {
+	out, err := Run(Plan{Suite: "GridMix", Scale: 1, Workers: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GridMix text generation is veracity-unaware.
+	if got := out.VeracityLevel(); got != "Un-considered" {
+		t.Fatalf("GridMix veracity %s", got)
+	}
+}
+
+func TestAbstractPortabilityCheck(t *testing.T) {
+	ok, err := AbstractPortabilityCheck(2)
+	if err != nil || !ok {
+		t.Fatalf("portability check failed: %v", err)
+	}
+}
+
+func TestArchitectureLayers(t *testing.T) {
+	layers := Architecture()
+	if len(layers) != 3 {
+		t.Fatalf("layers %d, want 3 (Figure 2)", len(layers))
+	}
+	names := []string{"User Interface Layer", "Function Layer", "Execution Layer"}
+	for i, l := range layers {
+		if l.Name != names[i] {
+			t.Fatalf("layer %d = %s", i, l.Name)
+		}
+		if len(l.Components) == 0 {
+			t.Fatalf("layer %s empty", l.Name)
+		}
+	}
+	text := FormatArchitecture(layers)
+	if !strings.Contains(text, "Function Layer") || !strings.Contains(text, "testgen") {
+		t.Fatal("formatted architecture incomplete")
+	}
+}
+
+func TestTextDataGenProcess(t *testing.T) {
+	out, err := TextDataGenProcess(9, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != 4 {
+		t.Fatalf("steps %d, want 4 (Figure 3)", len(out.Steps))
+	}
+	if out.Records != 300 {
+		t.Fatalf("records %d", out.Records)
+	}
+	if out.FormatBytes == 0 {
+		t.Fatal("no converted output")
+	}
+	if out.Divergence <= 0 || out.Divergence > 1 {
+		t.Fatalf("divergence %v", out.Divergence)
+	}
+}
+
+func TestTableDataGenProcess(t *testing.T) {
+	out, err := TableDataGenProcess(10, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != 4 {
+		t.Fatalf("steps %d", len(out.Steps))
+	}
+	if out.Records != 2000 || out.FormatBytes == 0 {
+		t.Fatalf("outcome %+v", out)
+	}
+	// Full-profile generation: divergence near the floor.
+	if out.Divergence > 0.1 {
+		t.Fatalf("profiled table divergence %v, want small", out.Divergence)
+	}
+}

@@ -1,0 +1,91 @@
+// Package media generates synthetic binary media blobs — the "videos" data
+// source the paper attributes to CloudSuite's variety axis. Blobs carry a
+// small structured header and frame table over otherwise incompressible
+// random bytes, which is what matters for storage/scan workloads: realistic
+// size distributions and no accidental compressibility.
+package media
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// Magic identifies a bdbench video blob.
+const Magic = 0x42444256 // "BDBV"
+
+// Header describes a generated blob.
+type Header struct {
+	Magic     uint32
+	Frames    uint32
+	FrameSize uint32
+}
+
+const headerSize = 12
+
+// GenerateVideo produces a blob with the given frame count and frame size.
+func GenerateVideo(g *stats.RNG, frames, frameSize int) []byte {
+	if frames < 1 {
+		frames = 1
+	}
+	if frameSize < 16 {
+		frameSize = 16
+	}
+	buf := make([]byte, headerSize+frames*frameSize)
+	binary.LittleEndian.PutUint32(buf[0:], Magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(frames))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(frameSize))
+	body := buf[headerSize:]
+	for i := 0; i+8 <= len(body); i += 8 {
+		binary.LittleEndian.PutUint64(body[i:], g.Uint64())
+	}
+	return buf
+}
+
+// ParseHeader validates and decodes a blob header.
+func ParseHeader(blob []byte) (Header, error) {
+	if len(blob) < headerSize {
+		return Header{}, fmt.Errorf("media: blob too short (%d bytes)", len(blob))
+	}
+	h := Header{
+		Magic:     binary.LittleEndian.Uint32(blob[0:]),
+		Frames:    binary.LittleEndian.Uint32(blob[4:]),
+		FrameSize: binary.LittleEndian.Uint32(blob[8:]),
+	}
+	if h.Magic != Magic {
+		return Header{}, fmt.Errorf("media: bad magic %#x", h.Magic)
+	}
+	want := headerSize + int(h.Frames)*int(h.FrameSize)
+	if len(blob) != want {
+		return Header{}, fmt.Errorf("media: blob size %d, header implies %d", len(blob), want)
+	}
+	return h, nil
+}
+
+// Frame returns the i-th frame's bytes.
+func Frame(blob []byte, h Header, i int) ([]byte, error) {
+	if i < 0 || uint32(i) >= h.Frames {
+		return nil, fmt.Errorf("media: frame %d out of range [0,%d)", i, h.Frames)
+	}
+	start := headerSize + i*int(h.FrameSize)
+	return blob[start : start+int(h.FrameSize)], nil
+}
+
+// Library generates a set of blobs with Pareto-distributed sizes (a few
+// large videos dominate storage, as in real media workloads).
+func Library(g *stats.RNG, count int, meanFrames int) [][]byte {
+	sizes := stats.Pareto{Xm: float64(meanFrames) / 3, Alpha: 1.5}
+	out := make([][]byte, count)
+	for i := range out {
+		frames := int(sizes.Sample(g))
+		if frames < 1 {
+			frames = 1
+		}
+		if frames > meanFrames*50 {
+			frames = meanFrames * 50
+		}
+		out[i] = GenerateVideo(g, frames, 1024)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package media
+
+import (
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+func TestGenerateAndParse(t *testing.T) {
+	g := stats.NewRNG(1)
+	blob := GenerateVideo(g, 10, 256)
+	h, err := ParseHeader(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Frames != 10 || h.FrameSize != 256 {
+		t.Fatalf("header %+v", h)
+	}
+	f, err := Frame(blob, h, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 256 {
+		t.Fatalf("frame len %d", len(f))
+	}
+	if _, err := Frame(blob, h, 10); err == nil {
+		t.Fatal("out-of-range frame accepted")
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, err := ParseHeader([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short blob accepted")
+	}
+	g := stats.NewRNG(2)
+	blob := GenerateVideo(g, 2, 64)
+	blob[0] ^= 0xFF
+	if _, err := ParseHeader(blob); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	blob[0] ^= 0xFF
+	if _, err := ParseHeader(blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+func TestClampedParams(t *testing.T) {
+	g := stats.NewRNG(3)
+	blob := GenerateVideo(g, 0, 1)
+	h, err := ParseHeader(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Frames != 1 || h.FrameSize != 16 {
+		t.Fatalf("clamped header %+v", h)
+	}
+}
+
+func TestIncompressibility(t *testing.T) {
+	// Random frames should have near-uniform byte distribution.
+	g := stats.NewRNG(4)
+	blob := GenerateVideo(g, 64, 1024)
+	counts := make([]float64, 256)
+	for _, b := range blob[12:] {
+		counts[b]++
+	}
+	total := float64(len(blob) - 12)
+	for v, c := range counts {
+		p := c / total
+		if p > 0.01 {
+			t.Fatalf("byte %d frequency %.4f, want near 1/256", v, p)
+		}
+	}
+}
+
+func TestLibrarySizes(t *testing.T) {
+	g := stats.NewRNG(5)
+	lib := Library(g, 100, 30)
+	if len(lib) != 100 {
+		t.Fatalf("library size %d", len(lib))
+	}
+	var sizes stats.Summary
+	for _, blob := range lib {
+		if _, err := ParseHeader(blob); err != nil {
+			t.Fatal(err)
+		}
+		sizes.Observe(float64(len(blob)))
+	}
+	// Pareto sizes: max should dwarf the median-ish mean.
+	if sizes.Max() < 3*sizes.Mean() {
+		t.Fatalf("library sizes not heavy-tailed: max %.0f mean %.0f", sizes.Max(), sizes.Mean())
+	}
+}

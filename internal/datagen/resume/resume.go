@@ -1,0 +1,122 @@
+// Package resume generates semi-structured "resume" records, the data
+// source the paper attributes to BigDataBench's variety axis (resumes mix
+// structured fields with free text). Records render to a JSON-like
+// key/value text block plus a free-text summary paragraph.
+package resume
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/bdbench/bdbench/internal/datagen/textgen"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// Resume is one semi-structured record: typed fields plus free text.
+type Resume struct {
+	ID        int64    `json:"id"`
+	Name      string   `json:"name"`
+	Degree    string   `json:"degree"`
+	Field     string   `json:"field"`
+	YearsExp  int      `json:"years_exp"`
+	Skills    []string `json:"skills"`
+	Summary   string   `json:"summary"`
+	Languages []string `json:"languages"`
+}
+
+var (
+	degrees   = []string{"BSc", "MSc", "PhD", "BA", "MBA"}
+	fields    = []string{"computer science", "statistics", "physics", "economics", "biology", "design"}
+	skills    = []string{"go", "sql", "mapreduce", "statistics", "ml", "etl", "graphs", "streaming", "kv-stores", "benchmarks"}
+	languages = []string{"english", "mandarin", "spanish", "hindi", "french", "german"}
+)
+
+// Generator produces resumes whose free-text summary comes from a text
+// model, so resume veracity follows the chosen text model's veracity.
+type Generator struct {
+	// SummaryWords is the mean length of the free-text summary (default 30).
+	SummaryWords int
+	// Text generates the summaries; nil falls back to random text.
+	Text interface {
+		Generate(g *stats.RNG, docs, meanLen int) textgen.Corpus
+	}
+}
+
+type randomTextAdapter struct{ rt textgen.RandomText }
+
+func (a randomTextAdapter) Generate(g *stats.RNG, docs, meanLen int) textgen.Corpus {
+	return a.rt.Generate(g, docs, meanLen)
+}
+
+// Generate emits n resumes.
+func (gen Generator) Generate(g *stats.RNG, n int) []Resume {
+	mean := gen.SummaryWords
+	if mean <= 0 {
+		mean = 30
+	}
+	text := gen.Text
+	if text == nil {
+		text = randomTextAdapter{rt: textgen.RandomText{Dictionary: textgen.DefaultDictionary()}}
+	}
+	summaries := text.Generate(g, n, mean)
+	out := make([]Resume, n)
+	for i := 0; i < n; i++ {
+		nSkills := 2 + g.IntN(4)
+		perm := g.Perm(len(skills))
+		skillSet := make([]string, nSkills)
+		for j := 0; j < nSkills; j++ {
+			skillSet[j] = skills[perm[j]]
+		}
+		nLang := 1 + g.IntN(2)
+		langSet := make([]string, nLang)
+		lperm := g.Perm(len(languages))
+		for j := 0; j < nLang; j++ {
+			langSet[j] = languages[lperm[j]]
+		}
+		out[i] = Resume{
+			ID:        int64(i + 1),
+			Name:      strings.Title(g.RandomWord(4, 8)) + " " + strings.Title(g.RandomWord(5, 10)),
+			Degree:    degrees[g.IntN(len(degrees))],
+			Field:     fields[g.IntN(len(fields))],
+			YearsExp:  g.IntN(30),
+			Skills:    skillSet,
+			Summary:   strings.Join(summaries[i], " "),
+			Languages: langSet,
+		}
+	}
+	return out
+}
+
+// MarshalJSONL renders resumes as JSON lines, the semi-structured wire
+// format.
+func MarshalJSONL(rs []Resume) (string, error) {
+	var b strings.Builder
+	for i, r := range rs {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return "", fmt.Errorf("resume: marshal %d: %w", i, err)
+		}
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.Write(raw)
+	}
+	return b.String(), nil
+}
+
+// ParseJSONL parses the MarshalJSONL format.
+func ParseJSONL(s string) ([]Resume, error) {
+	var out []Resume
+	for i, line := range strings.Split(s, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var r Resume
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("resume: line %d: %w", i+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

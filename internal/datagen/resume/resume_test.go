@@ -1,0 +1,106 @@
+package resume
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/datagen/textgen"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+func TestGenerateShape(t *testing.T) {
+	rs := Generator{}.Generate(stats.NewRNG(1), 50)
+	if len(rs) != 50 {
+		t.Fatalf("resumes %d, want 50", len(rs))
+	}
+	for i, r := range rs {
+		if r.ID != int64(i+1) {
+			t.Fatalf("id %d at %d", r.ID, i)
+		}
+		if r.Name == "" || r.Degree == "" || r.Field == "" {
+			t.Fatalf("empty structured fields: %+v", r)
+		}
+		if len(r.Skills) < 2 || len(r.Skills) > 5 {
+			t.Fatalf("skills %v", r.Skills)
+		}
+		if r.Summary == "" {
+			t.Fatal("empty summary")
+		}
+		if len(r.Languages) < 1 {
+			t.Fatal("no languages")
+		}
+	}
+}
+
+func TestSkillsUnique(t *testing.T) {
+	rs := Generator{}.Generate(stats.NewRNG(2), 200)
+	for _, r := range rs {
+		seen := map[string]bool{}
+		for _, s := range r.Skills {
+			if seen[s] {
+				t.Fatalf("duplicate skill %q in %v", s, r.Skills)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rs := Generator{}.Generate(stats.NewRNG(3), 20)
+	body, err := MarshalJSONL(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseJSONL(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 20 {
+		t.Fatalf("parsed %d", len(parsed))
+	}
+	for i := range rs {
+		if parsed[i].Name != rs[i].Name || parsed[i].Summary != rs[i].Summary {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestParseJSONLBadInput(t *testing.T) {
+	if _, err := ParseJSONL("{not json}"); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	out, err := ParseJSONL("\n\n")
+	if err != nil || len(out) != 0 {
+		t.Fatalf("blank input: %v %v", out, err)
+	}
+}
+
+func TestSummaryUsesProvidedTextModel(t *testing.T) {
+	// With an LDA model trained on the reference corpus, summaries must
+	// only contain dictionary words.
+	ref := textgen.ReferenceCorpus(4, 60, 40)
+	lda := textgen.NewLDA(3, 0, 0)
+	if err := lda.Train(ref, 10, stats.NewRNG(5)); err != nil {
+		t.Fatal(err)
+	}
+	gen := Generator{Text: ldaAdapter{lda}}
+	rs := gen.Generate(stats.NewRNG(6), 10)
+	vocab := lda.Vocabulary()
+	for _, r := range rs {
+		for _, w := range strings.Fields(r.Summary) {
+			if vocab.ID(w) < 0 {
+				t.Fatalf("summary word %q not from model dictionary", w)
+			}
+		}
+	}
+}
+
+type ldaAdapter struct{ l *textgen.LDA }
+
+func (a ldaAdapter) Generate(g *stats.RNG, docs, meanLen int) textgen.Corpus {
+	c, err := a.l.Generate(g, docs, meanLen)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,61 @@
+package textgen
+
+import "github.com/bdbench/bdbench/internal/stats"
+
+// RandomText emulates the veracity-unaware generators of HiBench, GridMix
+// and PigMix: synthetic words drawn independently of any real data set
+// ("the synthetic data sets are either randomly generated using the programs
+// in the Hadoop distribution or created using some statistic distributions").
+// Two modes are provided: fully random letter strings, and dictionary
+// sampling with a configurable distribution.
+type RandomText struct {
+	// Dictionary, when non-empty, is sampled instead of random letters.
+	Dictionary []string
+	// Sampler chooses dictionary indexes; defaults to uniform.
+	Sampler stats.IntSampler
+	// MinWordLen/MaxWordLen bound random-letter words (defaults 3..10).
+	MinWordLen, MaxWordLen int
+}
+
+// Generate emits docs documents with lengths drawn from Poisson(meanLen).
+func (r RandomText) Generate(g *stats.RNG, docs, meanLen int) Corpus {
+	minLen, maxLen := r.MinWordLen, r.MaxWordLen
+	if minLen <= 0 {
+		minLen = 3
+	}
+	if maxLen < minLen {
+		maxLen = minLen + 7
+	}
+	sampler := r.Sampler
+	if sampler == nil && len(r.Dictionary) > 0 {
+		sampler = stats.UniformInt{Count: int64(len(r.Dictionary))}
+	}
+	lenDist := stats.Poisson{Lambda: float64(meanLen)}
+	out := make(Corpus, 0, docs)
+	for d := 0; d < docs; d++ {
+		n := int(lenDist.Sample(g))
+		if n < 1 {
+			n = 1
+		}
+		doc := make(Document, n)
+		for i := 0; i < n; i++ {
+			if sampler != nil {
+				doc[i] = r.Dictionary[int(sampler.Next(g))%len(r.Dictionary)]
+			} else {
+				doc[i] = g.RandomWord(minLen, maxLen)
+			}
+		}
+		out = append(out, doc)
+	}
+	return out
+}
+
+// DefaultDictionary returns a flat copy of the built-in themed word list,
+// handy for dictionary-mode random text.
+func DefaultDictionary() []string {
+	var out []string
+	for _, group := range baseWords {
+		out = append(out, group...)
+	}
+	return out
+}

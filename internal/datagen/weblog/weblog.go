@@ -1,0 +1,181 @@
+// Package weblog generates semi-structured web access logs. In the paper's
+// survey, BigBench generates "web logs and reviews ... on the basis of the
+// table data. Hence the veracity of web logs and reviews rely on the table
+// data" — this package mirrors that design: click sessions are derived from
+// a customer/product table, so log veracity inherits table veracity.
+package weblog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/data"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// Record is one access-log entry in Apache combined-log spirit.
+type Record struct {
+	IP      string
+	User    string
+	Time    time.Time
+	Method  string
+	Path    string
+	Status  int
+	Bytes   int64
+	Referer string
+	Agent   string
+}
+
+// Format renders the record as an Apache combined log line.
+func (r Record) Format() string {
+	return fmt.Sprintf(`%s - %s [%s] "%s %s HTTP/1.1" %d %d "%s" "%s"`,
+		r.IP, r.User, r.Time.Format("02/Jan/2006:15:04:05 -0700"),
+		r.Method, r.Path, r.Status, r.Bytes, r.Referer, r.Agent)
+}
+
+// Parse parses a combined log line produced by Format. It returns an error
+// for malformed lines.
+func Parse(line string) (Record, error) {
+	var r Record
+	// IP - user [time] "METHOD path HTTP/1.1" status bytes "ref" "agent"
+	parts := strings.SplitN(line, " ", 4)
+	if len(parts) < 4 {
+		return r, fmt.Errorf("weblog: short line")
+	}
+	r.IP = parts[0]
+	r.User = parts[2]
+	rest := parts[3]
+	tEnd := strings.Index(rest, "] ")
+	if !strings.HasPrefix(rest, "[") || tEnd < 0 {
+		return r, fmt.Errorf("weblog: missing timestamp")
+	}
+	ts, err := time.Parse("02/Jan/2006:15:04:05 -0700", rest[1:tEnd])
+	if err != nil {
+		return r, fmt.Errorf("weblog: bad timestamp: %w", err)
+	}
+	r.Time = ts
+	rest = rest[tEnd+2:]
+	if !strings.HasPrefix(rest, `"`) {
+		return r, fmt.Errorf("weblog: missing request")
+	}
+	reqEnd := strings.Index(rest[1:], `"`)
+	if reqEnd < 0 {
+		return r, fmt.Errorf("weblog: unterminated request")
+	}
+	req := rest[1 : 1+reqEnd]
+	reqParts := strings.Split(req, " ")
+	if len(reqParts) != 3 {
+		return r, fmt.Errorf("weblog: bad request %q", req)
+	}
+	r.Method, r.Path = reqParts[0], reqParts[1]
+	rest = rest[reqEnd+3:]
+	if _, err := fmt.Sscanf(rest, "%d %d", &r.Status, &r.Bytes); err != nil {
+		return r, fmt.Errorf("weblog: bad status/bytes: %w", err)
+	}
+	quoteFields := strings.SplitN(rest, `"`, 5)
+	if len(quoteFields) >= 4 {
+		r.Referer = quoteFields[1]
+		r.Agent = quoteFields[3]
+	}
+	return r, nil
+}
+
+// Generator derives click-stream sessions from an orders table: each
+// session belongs to a customer drawn from the table's customer column and
+// browses product pages drawn from its product column, so skews carry over.
+type Generator struct {
+	// SessionLen is the mean pages per session (default 8).
+	SessionLen float64
+	// ErrorRate is the fraction of 4xx/5xx responses (default 0.02).
+	ErrorRate float64
+	// Start is the virtual time of the first request.
+	Start time.Time
+}
+
+var agents = []string{
+	"Mozilla/5.0 (X11; Linux x86_64)",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15)",
+	"Mozilla/5.0 (Windows NT 10.0; Win64; x64)",
+	"curl/8.0.1",
+	"bdbench-crawler/1.0",
+}
+
+// FromTable generates n log records from the orders table (expects
+// customer_id and product_id columns, as in tablegen.ReferenceTable).
+func (gen Generator) FromTable(g *stats.RNG, orders *data.Table, n int) ([]Record, error) {
+	custIdx := orders.Schema.ColIndex("customer_id")
+	prodIdx := orders.Schema.ColIndex("product_id")
+	if custIdx < 0 || prodIdx < 0 {
+		return nil, fmt.Errorf("weblog: table %q lacks customer_id/product_id", orders.Schema.Name)
+	}
+	if orders.NumRows() == 0 {
+		return nil, fmt.Errorf("weblog: empty orders table")
+	}
+	sessionLen := gen.SessionLen
+	if sessionLen <= 0 {
+		sessionLen = 8
+	}
+	errRate := gen.ErrorRate
+	if errRate <= 0 {
+		errRate = 0.02
+	}
+	start := gen.Start
+	if start.IsZero() {
+		start = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	out := make([]Record, 0, n)
+	at := start
+	for len(out) < n {
+		// Pick a random order row; its customer anchors the session.
+		row := orders.Rows[g.IntN(orders.NumRows())]
+		cust := row[custIdx].Int()
+		ip := fmt.Sprintf("10.%d.%d.%d", (cust>>16)&255, (cust>>8)&255, cust&255)
+		user := fmt.Sprintf("u%d", cust)
+		pages := int(stats.Poisson{Lambda: sessionLen}.Sample(g)) + 1
+		for p := 0; p < pages && len(out) < n; p++ {
+			prodRow := orders.Rows[g.IntN(orders.NumRows())]
+			prod := prodRow[prodIdx].Int()
+			status := 200
+			if g.Bool(errRate) {
+				if g.Bool(0.5) {
+					status = 404
+				} else {
+					status = 500
+				}
+			}
+			path := fmt.Sprintf("/product/%d", prod)
+			if p == pages-1 && g.Bool(0.3) {
+				path = "/checkout"
+			}
+			referer := "-"
+			if p > 0 {
+				referer = "/search"
+			}
+			out = append(out, Record{
+				IP:   ip,
+				User: user,
+				// The combined log format carries second granularity, so
+				// records are truncated to it for clean round-trips.
+				Time:    at.Truncate(time.Second),
+				Method:  "GET",
+				Path:    path,
+				Status:  status,
+				Bytes:   int64(500 + g.IntN(20000)),
+				Referer: referer,
+				Agent:   agents[g.IntN(len(agents))],
+			})
+			at = at.Add(time.Duration(g.IntN(5000)) * time.Millisecond)
+		}
+	}
+	return out, nil
+}
+
+// FormatAll renders records as a newline-joined log file body.
+func FormatAll(records []Record) string {
+	lines := make([]string, len(records))
+	for i, r := range records {
+		lines[i] = r.Format()
+	}
+	return strings.Join(lines, "\n")
+}

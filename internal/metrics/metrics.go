@@ -1,0 +1,253 @@
+// Package metrics implements the measurement side of the benchmark
+// methodology in "On Big Data Benchmarking" §3.1: user-perceivable metrics
+// (test duration, request latency, throughput) that compare workloads of the
+// same category, architecture metrics (operation rates in the spirit of
+// MIPS/MFLOPS) that compare workloads across categories, and the energy and
+// cost models the paper says metrics must also cover.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// Kind distinguishes the two metric families of §3.1.
+type Kind string
+
+const (
+	// UserPerceivable metrics are observable by application users:
+	// durations, latencies, throughput.
+	UserPerceivable Kind = "user-perceivable"
+	// Architecture metrics compare workloads from different categories:
+	// abstract operation rates (our stand-in for MIPS/MFLOPS).
+	Architecture Kind = "architecture"
+)
+
+// Collector accumulates measurements for one workload execution. It is safe
+// for concurrent use by the goroutines of a parallel stack.
+type Collector struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	lat      map[string]*stats.LatencyHistogram
+	counters map[string]int64
+	started  bool
+	elapsed  time.Duration
+}
+
+// NewCollector returns a collector for the named workload.
+func NewCollector(name string) *Collector {
+	return &Collector{
+		name:     name,
+		lat:      make(map[string]*stats.LatencyHistogram),
+		counters: make(map[string]int64),
+	}
+}
+
+// Name returns the workload name the collector was created with.
+func (c *Collector) Name() string { return c.name }
+
+// Start marks the beginning of the measured interval.
+func (c *Collector) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.start = time.Now()
+	c.started = true
+}
+
+// Stop marks the end of the measured interval.
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		c.elapsed = time.Since(c.start)
+	}
+}
+
+// SetElapsed overrides the measured wall time; used when the caller measures
+// the interval itself (e.g. inside testing.B loops).
+func (c *Collector) SetElapsed(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.elapsed = d
+	c.started = true
+}
+
+// Elapsed returns the measured wall time (zero until Stop or SetElapsed).
+func (c *Collector) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
+
+// ObserveLatency records one operation latency under the given operation
+// label ("read", "update", ...).
+func (c *Collector) ObserveLatency(op string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.lat[op]
+	if !ok {
+		h = &stats.LatencyHistogram{}
+		c.lat[op] = h
+	}
+	h.Observe(d)
+}
+
+// Add increments the named counter by delta. Counters capture architecture
+// metrics (records processed, bytes shuffled, messages sent, ...).
+func (c *Collector) Add(counter string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counters[counter] += delta
+}
+
+// Counter returns the current value of a counter.
+func (c *Collector) Counter(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// Timed runs f and records its duration under op.
+func (c *Collector) Timed(op string, f func()) {
+	t0 := time.Now()
+	f()
+	c.ObserveLatency(op, time.Since(t0))
+}
+
+// OpStats summarizes the latency profile of one operation type.
+type OpStats struct {
+	Op    string
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Result is the immutable outcome of a measured workload execution.
+type Result struct {
+	Name     string
+	Elapsed  time.Duration
+	Ops      []OpStats
+	Counters map[string]int64
+	// Throughput is total operations per second over the measured interval.
+	Throughput float64
+	// MOPS is the architecture metric: millions of abstract operations per
+	// second, bdbench's stand-in for MIPS/MFLOPS on a simulated substrate.
+	MOPS float64
+	// Energy and Cost are estimates produced by the models below; zero if
+	// no model was applied.
+	EnergyJoules float64
+	CostUSD      float64
+}
+
+// Snapshot freezes the collector into a Result. totalOps counts the
+// operations for throughput; if zero, the sum of latency observations is
+// used, and failing that the "records" counter.
+func (c *Collector) Snapshot() Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Result{
+		Name:     c.name,
+		Elapsed:  c.elapsed,
+		Counters: make(map[string]int64, len(c.counters)),
+	}
+	for k, v := range c.counters {
+		r.Counters[k] = v
+	}
+	var total uint64
+	ops := make([]string, 0, len(c.lat))
+	for op := range c.lat {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		h := c.lat[op]
+		total += h.Count()
+		r.Ops = append(r.Ops, OpStats{
+			Op:    op,
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max(),
+		})
+	}
+	if total == 0 {
+		if rec := c.counters["records"]; rec > 0 {
+			total = uint64(rec)
+		}
+	}
+	if c.elapsed > 0 && total > 0 {
+		r.Throughput = float64(total) / c.elapsed.Seconds()
+		r.MOPS = r.Throughput / 1e6
+	}
+	return r
+}
+
+// String renders a compact single-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.0f ops/s in %v", r.Name, r.Throughput, r.Elapsed.Round(time.Millisecond))
+}
+
+// EnergyModel estimates energy use of a run from wall time, CPU-active time
+// and node count. The paper (§3.1) requires benchmarks to report energy
+// consumption; on a simulated substrate we apply a standard linear power
+// model: P = Pidle + (Pactive-Pidle) * utilization.
+type EnergyModel struct {
+	IdleWatts   float64 // per-node power when idle
+	ActiveWatts float64 // per-node power at full utilization
+	Nodes       int     // simulated cluster size
+}
+
+// DefaultEnergyModel approximates a commodity 2U server.
+var DefaultEnergyModel = EnergyModel{IdleWatts: 100, ActiveWatts: 350, Nodes: 1}
+
+// Estimate returns joules for a run lasting wall time with the given
+// CPU-active time summed across all cores/nodes.
+func (m EnergyModel) Estimate(wall, active time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	util := active.Seconds() / wall.Seconds()
+	if util > 1 {
+		util = 1
+	}
+	if util < 0 {
+		util = 0
+	}
+	perNode := m.IdleWatts + (m.ActiveWatts-m.IdleWatts)*util
+	return perNode * float64(m.Nodes) * wall.Seconds()
+}
+
+// CostModel converts runtime into money, the paper's "cost effectiveness"
+// axis. Price is per node-hour.
+type CostModel struct {
+	NodeHourUSD float64
+	Nodes       int
+}
+
+// DefaultCostModel approximates a mid-size cloud VM.
+var DefaultCostModel = CostModel{NodeHourUSD: 0.50, Nodes: 1}
+
+// Estimate returns dollars for a run lasting wall time.
+func (m CostModel) Estimate(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return m.NodeHourUSD * float64(m.Nodes) * wall.Hours()
+}
+
+// Apply attaches energy and cost estimates to a result. active is the
+// CPU-active time (use wall*cores for fully parallel phases).
+func Apply(r *Result, em EnergyModel, cm CostModel, active time.Duration) {
+	r.EnergyJoules = em.Estimate(r.Elapsed, active)
+	r.CostUSD = cm.Estimate(r.Elapsed)
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorLatencyAndSnapshot(t *testing.T) {
+	c := NewCollector("wl")
+	for i := 1; i <= 100; i++ {
+		c.ObserveLatency("read", time.Duration(i)*time.Millisecond)
+	}
+	c.SetElapsed(2 * time.Second)
+	r := c.Snapshot()
+	if r.Name != "wl" {
+		t.Fatalf("name %q", r.Name)
+	}
+	if len(r.Ops) != 1 || r.Ops[0].Op != "read" {
+		t.Fatalf("ops %v", r.Ops)
+	}
+	if r.Ops[0].Count != 100 {
+		t.Fatalf("count %d, want 100", r.Ops[0].Count)
+	}
+	if r.Ops[0].P50 > r.Ops[0].P95 || r.Ops[0].P95 > r.Ops[0].P99 {
+		t.Fatal("percentiles not monotone")
+	}
+	if math.Abs(r.Throughput-50) > 0.001 {
+		t.Fatalf("throughput %.3f, want 50", r.Throughput)
+	}
+}
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector("wl")
+	c.Add("records", 10)
+	c.Add("records", 5)
+	c.Add("bytes", 100)
+	if c.Counter("records") != 15 {
+		t.Fatalf("records %d, want 15", c.Counter("records"))
+	}
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	// No latency observations: throughput falls back to records counter.
+	if math.Abs(r.Throughput-15) > 1e-9 {
+		t.Fatalf("fallback throughput %.3f, want 15", r.Throughput)
+	}
+	if r.Counters["bytes"] != 100 {
+		t.Fatalf("bytes counter missing: %v", r.Counters)
+	}
+}
+
+func TestCollectorConcurrentSafety(t *testing.T) {
+	c := NewCollector("wl")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.ObserveLatency("op", time.Microsecond)
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	if r.Ops[0].Count != 8000 {
+		t.Fatalf("concurrent count %d, want 8000", r.Ops[0].Count)
+	}
+	if r.Counters["n"] != 8000 {
+		t.Fatalf("concurrent counter %d, want 8000", r.Counters["n"])
+	}
+}
+
+func TestCollectorStartStop(t *testing.T) {
+	c := NewCollector("wl")
+	c.Start()
+	time.Sleep(10 * time.Millisecond)
+	c.Stop()
+	if c.Elapsed() < 5*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 5ms", c.Elapsed())
+	}
+}
+
+func TestTimed(t *testing.T) {
+	c := NewCollector("wl")
+	c.Timed("f", func() { time.Sleep(2 * time.Millisecond) })
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	if r.Ops[0].Count != 1 {
+		t.Fatal("Timed did not record")
+	}
+	if r.Ops[0].Mean < time.Millisecond {
+		t.Fatalf("Timed mean %v, want >= 1ms", r.Ops[0].Mean)
+	}
+}
+
+func TestSnapshotSortsOps(t *testing.T) {
+	c := NewCollector("wl")
+	c.ObserveLatency("zeta", time.Millisecond)
+	c.ObserveLatency("alpha", time.Millisecond)
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	if r.Ops[0].Op != "alpha" || r.Ops[1].Op != "zeta" {
+		t.Fatalf("ops not sorted: %v", r.Ops)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	m := EnergyModel{IdleWatts: 100, ActiveWatts: 300, Nodes: 2}
+	// Fully active for 10s: 300W * 2 nodes * 10s = 6000 J.
+	j := m.Estimate(10*time.Second, 10*time.Second)
+	if math.Abs(j-6000) > 1e-6 {
+		t.Fatalf("fully active energy %.1f, want 6000", j)
+	}
+	// Idle for 10s: 100W * 2 * 10 = 2000 J.
+	j = m.Estimate(10*time.Second, 0)
+	if math.Abs(j-2000) > 1e-6 {
+		t.Fatalf("idle energy %.1f, want 2000", j)
+	}
+	// Utilization clamps at 1 even if active > wall (multi-core).
+	j = m.Estimate(10*time.Second, 40*time.Second)
+	if math.Abs(j-6000) > 1e-6 {
+		t.Fatalf("clamped energy %.1f, want 6000", j)
+	}
+	if m.Estimate(0, 0) != 0 {
+		t.Fatal("zero wall should give zero energy")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{NodeHourUSD: 1.20, Nodes: 10}
+	c := m.Estimate(30 * time.Minute)
+	if math.Abs(c-6.0) > 1e-9 {
+		t.Fatalf("cost %.4f, want 6.00", c)
+	}
+	if m.Estimate(0) != 0 {
+		t.Fatal("zero wall should give zero cost")
+	}
+}
+
+func TestApply(t *testing.T) {
+	c := NewCollector("wl")
+	c.SetElapsed(time.Hour)
+	r := c.Snapshot()
+	Apply(&r, EnergyModel{IdleWatts: 100, ActiveWatts: 100, Nodes: 1}, CostModel{NodeHourUSD: 2, Nodes: 3}, 0)
+	if math.Abs(r.EnergyJoules-360000) > 1e-6 {
+		t.Fatalf("energy %.1f, want 360000", r.EnergyJoules)
+	}
+	if math.Abs(r.CostUSD-6) > 1e-9 {
+		t.Fatalf("cost %.2f, want 6", r.CostUSD)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	c := NewCollector("demo")
+	c.Add("records", 100)
+	c.SetElapsed(time.Second)
+	s := c.Snapshot().String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,154 @@
+// Package report is bdbench's result analyzer and reporter (the Execution
+// layer's last component in Figure 2): aligned-text and markdown tables,
+// ASCII bar charts for figure-style series, and JSON export of run
+// outcomes.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders rows as a GitHub-flavored markdown table.
+func Markdown(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// BarChart renders labeled values as a horizontal ASCII bar chart scaled to
+// width characters.
+func BarChart(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if i < len(values) && values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(v / maxVal * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s | %s %.4g\n", maxLabel, l, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Series is one named data series for line-style figures.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	XLabel string
+	YLabel string
+}
+
+// FormatSeries renders a series as a two-column table; plotting is left to
+// downstream tooling, bdbench reports the numbers.
+func FormatSeries(s Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%s vs %s)\n", s.Name, s.YLabel, s.XLabel)
+	for i := range s.X {
+		y := 0.0
+		if i < len(s.Y) {
+			y = s.Y[i]
+		}
+		fmt.Fprintf(&b, "%12.4g  %12.6g\n", s.X[i], y)
+	}
+	return b.String()
+}
+
+// ResultRows converts workload results into table rows: name, elapsed,
+// throughput, p50/p99 of the dominant operation.
+func ResultRows(results []metrics.Result) [][]string {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		p50, p99 := "-", "-"
+		var dominant *metrics.OpStats
+		for i := range r.Ops {
+			if dominant == nil || r.Ops[i].Count > dominant.Count {
+				dominant = &r.Ops[i]
+			}
+		}
+		if dominant != nil {
+			p50 = dominant.P50.Round(time.Microsecond).String()
+			p99 = dominant.P99.Round(time.Microsecond).String()
+		}
+		rows = append(rows, []string{
+			r.Name,
+			r.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", r.Throughput),
+			p50,
+			p99,
+		})
+	}
+	return rows
+}
+
+// JSON marshals any report payload with indentation.
+func JSON(v any) (string, error) {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return string(raw), nil
+}

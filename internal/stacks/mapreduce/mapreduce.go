@@ -1,0 +1,293 @@
+// Package mapreduce is bdbench's Hadoop-substitute: an in-process MapReduce
+// engine with input splits, parallel map tasks, combiners, hash or custom
+// partitioning, a sort-based shuffle, and parallel reduce tasks. Workloads
+// that the paper's surveyed benchmarks run on Hadoop (sort, WordCount,
+// TeraSort, PageRank iterations, k-means iterations, ...) run on this engine
+// through the same map/reduce contract.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// KV is the engine's record type.
+type KV struct {
+	Key, Value string
+}
+
+// Mapper transforms one input record into zero or more intermediate records.
+type Mapper func(key, value string, emit func(k, v string))
+
+// Reducer folds all values of one key into zero or more output records.
+type Reducer func(key string, values []string, emit func(k, v string))
+
+// Partitioner routes an intermediate key to one of n reduce partitions.
+type Partitioner func(key string, n int) int
+
+// HashPartition is the default partitioner.
+func HashPartition(key string, n int) int {
+	return int(stats.FNV64(key) % uint64(n))
+}
+
+// Job describes one MapReduce execution.
+type Job struct {
+	Name string
+	Map  Mapper
+	// Reduce may be nil for map-only jobs.
+	Reduce Reducer
+	// Combine, when non-nil, pre-aggregates map output per partition
+	// before the shuffle, cutting shuffle volume (it must be associative
+	// and produce the same key).
+	Combine Reducer
+	// Partition defaults to HashPartition.
+	Partition Partitioner
+	// NumMappers and NumReducers default to the engine worker count.
+	NumMappers  int
+	NumReducers int
+	// SortOutput, when true, concatenates reduce partitions in partition
+	// order with each partition's groups key-sorted (needed by sort
+	// workloads with range partitioners).
+	SortOutput bool
+}
+
+// Stats captures the architecture metrics of one job run.
+type Stats struct {
+	MapInputRecords   int64
+	MapOutputRecords  int64
+	CombineOutRecords int64
+	ShuffleBytes      int64
+	ReduceGroups      int64
+	OutputRecords     int64
+	MapWall           time.Duration
+	ShuffleWall       time.Duration
+	ReduceWall        time.Duration
+}
+
+// Engine is a simulated cluster with a fixed worker pool.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine with the given parallelism (clamped to >= 1).
+func New(workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{workers: workers}
+}
+
+// Name implements stacks.Stack.
+func (e *Engine) Name() string { return "bdbench-mapreduce" }
+
+// Type implements stacks.Stack.
+func (e *Engine) Type() stacks.Type { return stacks.TypeMapReduce }
+
+// Workers returns the configured parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+var _ stacks.Stack = (*Engine)(nil)
+
+// Run executes the job over the input and returns the output records plus
+// run statistics.
+func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
+	if job.Map == nil {
+		return nil, Stats{}, fmt.Errorf("mapreduce: job %q has no mapper", job.Name)
+	}
+	numMappers := job.NumMappers
+	if numMappers <= 0 {
+		numMappers = e.workers
+	}
+	if numMappers > len(input) && len(input) > 0 {
+		numMappers = len(input)
+	}
+	if numMappers < 1 {
+		numMappers = 1
+	}
+	numReducers := job.NumReducers
+	if numReducers <= 0 {
+		numReducers = e.workers
+	}
+	partition := job.Partition
+	if partition == nil {
+		partition = HashPartition
+	}
+
+	var st Stats
+	st.MapInputRecords = int64(len(input))
+
+	// ---- Map phase: each mapper owns a split and emits into
+	// per-partition buffers.
+	mapStart := time.Now()
+	mapOut := make([][][]KV, numMappers) // mapper -> partition -> records
+	var mapOutCount, combineOutCount int64
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	for m := 0; m < numMappers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			lo := len(input) * m / numMappers
+			hi := len(input) * (m + 1) / numMappers
+			buckets := make([][]KV, numReducers)
+			emit := func(k, v string) {
+				p := partition(k, numReducers)
+				buckets[p] = append(buckets[p], KV{k, v})
+				atomic.AddInt64(&mapOutCount, 1)
+			}
+			for _, rec := range input[lo:hi] {
+				job.Map(rec.Key, rec.Value, emit)
+			}
+			if job.Combine != nil {
+				for p := range buckets {
+					buckets[p] = combine(job.Combine, buckets[p])
+					atomic.AddInt64(&combineOutCount, int64(len(buckets[p])))
+				}
+			}
+			mapOut[m] = buckets
+		}(m)
+	}
+	wg.Wait()
+	st.MapWall = time.Since(mapStart)
+	st.MapOutputRecords = mapOutCount
+	st.CombineOutRecords = combineOutCount
+
+	// Map-only job: concatenate mapper outputs in mapper order.
+	if job.Reduce == nil {
+		var out []KV
+		for _, buckets := range mapOut {
+			for _, b := range buckets {
+				out = append(out, b...)
+			}
+		}
+		st.OutputRecords = int64(len(out))
+		return out, st, nil
+	}
+
+	// ---- Shuffle phase: gather each partition from all mappers and sort
+	// by key (the merge-sort the real shuffle performs).
+	shuffleStart := time.Now()
+	partitions := make([][]KV, numReducers)
+	var shuffleBytes int64
+	for p := 0; p < numReducers; p++ {
+		var part []KV
+		for m := 0; m < numMappers; m++ {
+			part = append(part, mapOut[m][p]...)
+		}
+		for _, kv := range part {
+			shuffleBytes += int64(len(kv.Key) + len(kv.Value))
+		}
+		sort.SliceStable(part, func(i, j int) bool { return part[i].Key < part[j].Key })
+		partitions[p] = part
+	}
+	st.ShuffleBytes = shuffleBytes
+	st.ShuffleWall = time.Since(shuffleStart)
+
+	// ---- Reduce phase: group runs of equal keys and fold them.
+	reduceStart := time.Now()
+	reduceOut := make([][]KV, numReducers)
+	var groupCount int64
+	for p := 0; p < numReducers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			part := partitions[p]
+			var out []KV
+			emit := func(k, v string) { out = append(out, KV{k, v}) }
+			for i := 0; i < len(part); {
+				j := i
+				for j < len(part) && part[j].Key == part[i].Key {
+					j++
+				}
+				values := make([]string, 0, j-i)
+				for _, kv := range part[i:j] {
+					values = append(values, kv.Value)
+				}
+				job.Reduce(part[i].Key, values, emit)
+				atomic.AddInt64(&groupCount, 1)
+				i = j
+			}
+			reduceOut[p] = out
+		}(p)
+	}
+	wg.Wait()
+	st.ReduceGroups = groupCount
+	st.ReduceWall = time.Since(reduceStart)
+
+	var out []KV
+	for _, part := range reduceOut {
+		out = append(out, part...)
+	}
+	st.OutputRecords = int64(len(out))
+	return out, st, nil
+}
+
+// combine groups a single mapper's partition buffer by key and applies the
+// combiner.
+func combine(c Reducer, records []KV) []KV {
+	if len(records) == 0 {
+		return records
+	}
+	sort.SliceStable(records, func(i, j int) bool { return records[i].Key < records[j].Key })
+	var out []KV
+	emit := func(k, v string) { out = append(out, KV{k, v}) }
+	for i := 0; i < len(records); {
+		j := i
+		for j < len(records) && records[j].Key == records[i].Key {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for _, kv := range records[i:j] {
+			values = append(values, kv.Value)
+		}
+		c(records[i].Key, values, emit)
+		i = j
+	}
+	return out
+}
+
+// RangePartitioner builds a partitioner from sorted split points: keys below
+// splits[0] go to partition 0, etc. TeraSort-style total ordering uses it
+// with sampled split points.
+func RangePartitioner(splits []string) Partitioner {
+	points := append([]string(nil), splits...)
+	sort.Strings(points)
+	return func(key string, n int) int {
+		idx := sort.SearchStrings(points, key)
+		if idx >= n {
+			idx = n - 1
+		}
+		return idx
+	}
+}
+
+// SampleSplits picks n-1 evenly spaced split points from a sample of the
+// input keys, for use with RangePartitioner over n partitions.
+func SampleSplits(input []KV, n int, sampleSize int, g *stats.RNG) []string {
+	if n <= 1 || len(input) == 0 {
+		return nil
+	}
+	if sampleSize > len(input) {
+		sampleSize = len(input)
+	}
+	sample := make([]string, sampleSize)
+	for i := 0; i < sampleSize; i++ {
+		sample[i] = input[g.IntN(len(input))].Key
+	}
+	sort.Strings(sample)
+	splits := make([]string, 0, n-1)
+	for i := 1; i < n; i++ {
+		splits = append(splits, sample[i*len(sample)/n])
+	}
+	return splits
+}

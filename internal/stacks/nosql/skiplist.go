@@ -1,0 +1,127 @@
+package nosql
+
+import "github.com/bdbench/bdbench/internal/stats"
+
+// skipList is an ordered string-keyed map with probabilistic balancing —
+// the memtable structure of the store. It is not safe for concurrent use;
+// each partition guards its list with a mutex.
+type skipList struct {
+	head     *skipNode
+	level    int
+	length   int
+	g        *stats.RNG
+	maxLevel int
+}
+
+type skipNode struct {
+	key  string
+	val  Record
+	next []*skipNode
+}
+
+const defaultMaxLevel = 24
+
+func newSkipList(g *stats.RNG) *skipList {
+	return &skipList{
+		head:     &skipNode{next: make([]*skipNode, defaultMaxLevel)},
+		level:    1,
+		g:        g,
+		maxLevel: defaultMaxLevel,
+	}
+}
+
+func (s *skipList) randomLevel() int {
+	lvl := 1
+	for lvl < s.maxLevel && s.g.Bool(0.25) {
+		lvl++
+	}
+	return lvl
+}
+
+// findPath fills update with the rightmost node before key at every level.
+func (s *skipList) findPath(key string, update []*skipNode) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	return x.next[0]
+}
+
+// get returns the record for key, if present.
+func (s *skipList) get(key string) (Record, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	x = x.next[0]
+	if x != nil && x.key == key {
+		return x.val, true
+	}
+	return nil, false
+}
+
+// set inserts or replaces key's record; it reports whether the key was new.
+func (s *skipList) set(key string, val Record) bool {
+	update := make([]*skipNode, s.maxLevel)
+	found := s.findPath(key, update)
+	if found != nil && found.key == key {
+		found.val = val
+		return false
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: key, val: val, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.length++
+	return true
+}
+
+// del removes key; it reports whether the key existed.
+func (s *skipList) del(key string) bool {
+	update := make([]*skipNode, s.maxLevel)
+	found := s.findPath(key, update)
+	if found == nil || found.key != key {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] == found {
+			update[i].next[i] = found.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.length--
+	return true
+}
+
+// scanFrom walks keys >= start in order, calling fn until it returns false.
+func (s *skipList) scanFrom(start string, fn func(key string, val Record) bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < start {
+			x = x.next[i]
+		}
+	}
+	for x = x.next[0]; x != nil; x = x.next[0] {
+		if !fn(x.key, x.val) {
+			return
+		}
+	}
+}
+
+// len returns the number of keys.
+func (s *skipList) len() int { return s.length }

@@ -1,0 +1,322 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Distribution is a real-valued probability distribution that can be sampled
+// with an explicit RNG. Table column generators, key choosers and arrival
+// processes are all parameterized by Distribution so that a workload's
+// statistical shape is data, not code.
+type Distribution interface {
+	// Sample draws one variate using g.
+	Sample(g *RNG) float64
+	// Mean returns the theoretical mean (NaN if undefined).
+	Mean() float64
+	// Name returns a short human-readable identifier such as "zipf(1.1)".
+	Name() string
+}
+
+// Uniform is the continuous uniform distribution on [Min, Max).
+type Uniform struct {
+	Min, Max float64
+}
+
+// Sample implements Distribution.
+func (u Uniform) Sample(g *RNG) float64 { return u.Min + g.Float64()*(u.Max-u.Min) }
+
+// Mean implements Distribution.
+func (u Uniform) Mean() float64 { return (u.Min + u.Max) / 2 }
+
+// Name implements Distribution.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform[%g,%g)", u.Min, u.Max) }
+
+// Gaussian is the normal distribution N(Mu, Sigma^2).
+type Gaussian struct {
+	Mu, Sigma float64
+}
+
+// Sample implements Distribution.
+func (n Gaussian) Sample(g *RNG) float64 { return n.Mu + n.Sigma*g.NormFloat64() }
+
+// Mean implements Distribution.
+func (n Gaussian) Mean() float64 { return n.Mu }
+
+// Name implements Distribution.
+func (n Gaussian) Name() string { return fmt.Sprintf("gaussian(%g,%g)", n.Mu, n.Sigma) }
+
+// Exponential is the exponential distribution with the given Rate (lambda).
+type Exponential struct {
+	Rate float64
+}
+
+// Sample implements Distribution.
+func (e Exponential) Sample(g *RNG) float64 { return g.ExpFloat64() / e.Rate }
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Name implements Distribution.
+func (e Exponential) Name() string { return fmt.Sprintf("exp(%g)", e.Rate) }
+
+// Pareto is the Pareto (power-law) distribution with scale Xm and shape Alpha.
+type Pareto struct {
+	Xm, Alpha float64
+}
+
+// Sample implements Distribution.
+func (p Pareto) Sample(g *RNG) float64 {
+	u := g.Float64()
+	for u == 0 {
+		u = g.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean implements Distribution.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.NaN()
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Name implements Distribution.
+func (p Pareto) Name() string { return fmt.Sprintf("pareto(%g,%g)", p.Xm, p.Alpha) }
+
+// Poisson is the Poisson distribution with mean Lambda. Sampling uses
+// Knuth's product method for small lambda and a normal approximation with
+// continuity correction for large lambda.
+type Poisson struct {
+	Lambda float64
+}
+
+// Sample implements Distribution.
+func (p Poisson) Sample(g *RNG) float64 {
+	if p.Lambda <= 0 {
+		return 0
+	}
+	if p.Lambda > 64 {
+		v := math.Round(p.Lambda + math.Sqrt(p.Lambda)*g.NormFloat64())
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-p.Lambda)
+	k := 0
+	prod := 1.0
+	for {
+		prod *= g.Float64()
+		if prod <= l {
+			return float64(k)
+		}
+		k++
+	}
+}
+
+// Mean implements Distribution.
+func (p Poisson) Mean() float64 { return p.Lambda }
+
+// Name implements Distribution.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(%g)", p.Lambda) }
+
+// Constant always returns Value; useful as a degenerate arrival process or
+// column generator.
+type Constant struct {
+	Value float64
+}
+
+// Sample implements Distribution.
+func (c Constant) Sample(*RNG) float64 { return c.Value }
+
+// Mean implements Distribution.
+func (c Constant) Mean() float64 { return c.Value }
+
+// Name implements Distribution.
+func (c Constant) Name() string { return fmt.Sprintf("const(%g)", c.Value) }
+
+// IntSampler draws integer variates in [0, N). It is the interface used by
+// key choosers (which item does the next OLTP request touch?) and categorical
+// column generators.
+type IntSampler interface {
+	// Next draws the next integer in [0, N).
+	Next(g *RNG) int64
+	// N returns the size of the domain.
+	N() int64
+	// Name returns a short identifier.
+	Name() string
+}
+
+// UniformInt samples uniformly from [0, Count).
+type UniformInt struct {
+	Count int64
+}
+
+// Next implements IntSampler.
+func (u UniformInt) Next(g *RNG) int64 { return g.Int64N(u.Count) }
+
+// N implements IntSampler.
+func (u UniformInt) N() int64 { return u.Count }
+
+// Name implements IntSampler.
+func (u UniformInt) Name() string { return fmt.Sprintf("uniformint(%d)", u.Count) }
+
+// Zipf samples ranks from a zipfian distribution over [0, Count): rank r is
+// drawn with probability proportional to 1/(r+1)^S. It is the canonical
+// model for skewed access patterns (popular keys, popular words). The
+// implementation uses the rejection-inversion sampler from math/rand/v2,
+// reconstructed lazily per RNG because the stdlib sampler binds to a source.
+type Zipf struct {
+	Count int64
+	S     float64 // exponent, must be > 1 for the stdlib sampler
+}
+
+// Next implements IntSampler.
+func (z Zipf) Next(g *RNG) int64 {
+	s := z.S
+	if s <= 1 {
+		s = 1.0001
+	}
+	// rand/v2's Zipf generates values in [0, imax] with P(k) ∝ (v+k)^-s.
+	zs := newZipfState(g, s, 1, uint64(z.Count-1))
+	return int64(zs.Uint64())
+}
+
+// N implements IntSampler.
+func (z Zipf) N() int64 { return z.Count }
+
+// Name implements IntSampler.
+func (z Zipf) Name() string { return fmt.Sprintf("zipf(%d,s=%g)", z.Count, z.S) }
+
+// ScrambledZipf is YCSB's "scrambled zipfian": zipf-distributed popularity
+// ranks scattered across the item space with a bit mixer, so hot items are
+// spread uniformly over the key range instead of clustered at low ids.
+type ScrambledZipf struct {
+	Count int64
+	S     float64
+}
+
+// Next implements IntSampler.
+func (z ScrambledZipf) Next(g *RNG) int64 {
+	rank := Zipf{Count: z.Count, S: z.S}.Next(g)
+	return int64(Mix64(uint64(rank)) % uint64(z.Count))
+}
+
+// N implements IntSampler.
+func (z ScrambledZipf) N() int64 { return z.Count }
+
+// Name implements IntSampler.
+func (z ScrambledZipf) Name() string { return fmt.Sprintf("scrambledzipf(%d,s=%g)", z.Count, z.S) }
+
+// Latest is YCSB's "latest" distribution: recently inserted items are most
+// popular. Max is a pointer so the hot end tracks ongoing inserts; it is
+// read atomically, so concurrent writers must update it with sync/atomic.
+type Latest struct {
+	Max *int64 // current highest id (exclusive)
+	S   float64
+}
+
+// Next implements IntSampler.
+func (l Latest) Next(g *RNG) int64 {
+	n := atomic.LoadInt64(l.Max)
+	if n <= 0 {
+		return 0
+	}
+	off := Zipf{Count: n, S: l.S}.Next(g)
+	return n - 1 - off
+}
+
+// N implements IntSampler.
+func (l Latest) N() int64 { return atomic.LoadInt64(l.Max) }
+
+// Name implements IntSampler.
+func (l Latest) Name() string { return "latest" }
+
+// HotSpot concentrates HotFraction of the accesses on the first HotSetSize
+// items, uniformly otherwise — YCSB's hotspot distribution.
+type HotSpot struct {
+	Count       int64
+	HotSetSize  int64
+	HotFraction float64
+}
+
+// Next implements IntSampler.
+func (h HotSpot) Next(g *RNG) int64 {
+	if g.Bool(h.HotFraction) && h.HotSetSize > 0 {
+		return g.Int64N(h.HotSetSize)
+	}
+	return g.Int64N(h.Count)
+}
+
+// N implements IntSampler.
+func (h HotSpot) N() int64 { return h.Count }
+
+// Name implements IntSampler.
+func (h HotSpot) Name() string { return fmt.Sprintf("hotspot(%d)", h.Count) }
+
+// SequentialInt returns 0, 1, 2, ... wrapping at Count; used by loaders.
+type SequentialInt struct {
+	Count int64
+	next  int64
+}
+
+// Next implements IntSampler.
+func (s *SequentialInt) Next(*RNG) int64 {
+	v := s.next % s.Count
+	s.next++
+	return v
+}
+
+// N implements IntSampler.
+func (s *SequentialInt) N() int64 { return s.Count }
+
+// Name implements IntSampler.
+func (s *SequentialInt) Name() string { return "sequential" }
+
+// zipfState implements the rejection-inversion zipf sampler (Hörmann &
+// Derflinger), mirroring math/rand's Zipf but driven by our RNG so that
+// samples stay reproducible under Split.
+type zipfState struct {
+	g                       *RNG
+	imax                    float64
+	v, q                    float64
+	oneminusQ, oneminusQinv float64
+	hxm, hx0minusHxm, s     float64
+}
+
+func newZipfState(g *RNG, q, v float64, imax uint64) *zipfState {
+	z := &zipfState{g: g, imax: float64(imax), v: v, q: q}
+	z.oneminusQ = 1 - q
+	z.oneminusQinv = 1 / z.oneminusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0minusHxm = z.h(0.5) - math.Exp(math.Log(v)*(-q)) - z.hxm
+	z.s = 2 - z.hinv(z.h(1.5)-math.Exp(-q*math.Log(v+1)))
+	return z
+}
+
+func (z *zipfState) h(x float64) float64 {
+	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
+}
+
+func (z *zipfState) hinv(x float64) float64 {
+	return math.Exp(z.oneminusQinv*math.Log(z.oneminusQ*x)) - z.v
+}
+
+// Uint64 draws one zipf variate in [0, imax].
+func (z *zipfState) Uint64() uint64 {
+	for {
+		r := z.g.Float64()
+		ur := z.hxm + r*z.hx0minusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}

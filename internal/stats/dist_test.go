@@ -1,0 +1,283 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sampleMean draws n variates and returns their mean.
+func sampleMean(d Distribution, n int, seed uint64) float64 {
+	g := NewRNG(seed)
+	var s Summary
+	for i := 0; i < n; i++ {
+		s.Observe(d.Sample(g))
+	}
+	return s.Mean()
+}
+
+func TestUniformMean(t *testing.T) {
+	d := Uniform{Min: 2, Max: 10}
+	m := sampleMean(d, 100000, 1)
+	if math.Abs(m-6) > 0.1 {
+		t.Fatalf("uniform sample mean %.3f, want ~6", m)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	d := Gaussian{Mu: 5, Sigma: 2}
+	g := NewRNG(2)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Observe(d.Sample(g))
+	}
+	if math.Abs(s.Mean()-5) > 0.05 {
+		t.Fatalf("gaussian mean %.3f, want ~5", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2) > 0.05 {
+		t.Fatalf("gaussian stddev %.3f, want ~2", s.StdDev())
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{Rate: 4}
+	m := sampleMean(d, 200000, 3)
+	if math.Abs(m-0.25) > 0.01 {
+		t.Fatalf("exponential mean %.4f, want ~0.25", m)
+	}
+}
+
+func TestParetoSamplesAboveScale(t *testing.T) {
+	d := Pareto{Xm: 3, Alpha: 2.5}
+	g := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(g); v < 3 {
+			t.Fatalf("pareto sample %v below scale", v)
+		}
+	}
+	m := sampleMean(d, 500000, 5)
+	want := d.Mean()
+	if math.Abs(m-want)/want > 0.05 {
+		t.Fatalf("pareto mean %.3f, want ~%.3f", m, want)
+	}
+}
+
+func TestParetoMeanUndefined(t *testing.T) {
+	if !math.IsNaN((Pareto{Xm: 1, Alpha: 0.9}).Mean()) {
+		t.Fatal("pareto mean should be NaN for alpha <= 1")
+	}
+}
+
+func TestPoissonSmallLambda(t *testing.T) {
+	d := Poisson{Lambda: 3}
+	m := sampleMean(d, 100000, 6)
+	if math.Abs(m-3) > 0.05 {
+		t.Fatalf("poisson mean %.3f, want ~3", m)
+	}
+}
+
+func TestPoissonLargeLambdaApproximation(t *testing.T) {
+	d := Poisson{Lambda: 500}
+	m := sampleMean(d, 50000, 7)
+	if math.Abs(m-500) > 2 {
+		t.Fatalf("poisson(500) mean %.2f, want ~500", m)
+	}
+	g := NewRNG(8)
+	for i := 0; i < 1000; i++ {
+		if d.Sample(g) < 0 {
+			t.Fatal("poisson sample negative")
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	g := NewRNG(9)
+	if v := (Poisson{Lambda: 0}).Sample(g); v != 0 {
+		t.Fatalf("poisson(0) sample %v, want 0", v)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	g := NewRNG(1)
+	c := Constant{Value: 7.5}
+	if c.Sample(g) != 7.5 || c.Mean() != 7.5 {
+		t.Fatal("constant distribution is not constant")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := Zipf{Count: 1000, S: 1.2}
+	g := NewRNG(10)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next(g)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate, and counts must be roughly monotone decreasing
+	// when aggregated in blocks.
+	if counts[0] < counts[10] {
+		t.Fatalf("zipf rank 0 (%d) not hotter than rank 10 (%d)", counts[0], counts[10])
+	}
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if float64(head)/n < 0.3 {
+		t.Fatalf("zipf top-10 share %.3f, want heavy head", float64(head)/n)
+	}
+}
+
+func TestZipfHandlesSAtOrBelowOne(t *testing.T) {
+	z := Zipf{Count: 100, S: 1.0}
+	g := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		if v := z.Next(g); v < 0 || v >= 100 {
+			t.Fatalf("zipf(s=1) sample %d out of range", v)
+		}
+	}
+}
+
+func TestScrambledZipfSpreadsHotKeys(t *testing.T) {
+	z := ScrambledZipf{Count: 10000, S: 1.3}
+	g := NewRNG(12)
+	counts := make(map[int64]int)
+	for i := 0; i < 100000; i++ {
+		v := z.Next(g)
+		if v < 0 || v >= 10000 {
+			t.Fatalf("scrambled zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// The hottest key should not be key 0 with overwhelming likelihood:
+	// scrambling moves rank 0 to Mix64(0) % N.
+	want := int64(Mix64(0) % 10000)
+	best, bestCount := int64(-1), 0
+	for k, c := range counts {
+		if c > bestCount {
+			best, bestCount = k, c
+		}
+	}
+	if best != want {
+		t.Fatalf("hottest scrambled key %d, want %d", best, want)
+	}
+}
+
+func TestLatestFavorsRecent(t *testing.T) {
+	max := int64(1000)
+	l := Latest{Max: &max, S: 1.2}
+	g := NewRNG(13)
+	recent := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := l.Next(g)
+		if v < 0 || v >= max {
+			t.Fatalf("latest sample %d out of range", v)
+		}
+		if v >= max-10 {
+			recent++
+		}
+	}
+	if float64(recent)/n < 0.3 {
+		t.Fatalf("latest top-10 recent share %.3f, want heavy recency bias", float64(recent)/n)
+	}
+	// Growing max shifts the hot zone.
+	max = 2000
+	seenHigh := false
+	for i := 0; i < 1000; i++ {
+		if l.Next(g) >= 1000 {
+			seenHigh = true
+			break
+		}
+	}
+	if !seenHigh {
+		t.Fatal("latest did not track growing max")
+	}
+}
+
+func TestLatestEmpty(t *testing.T) {
+	max := int64(0)
+	l := Latest{Max: &max, S: 1.2}
+	if v := l.Next(NewRNG(1)); v != 0 {
+		t.Fatalf("latest on empty domain = %d, want 0", v)
+	}
+}
+
+func TestHotSpotConcentration(t *testing.T) {
+	h := HotSpot{Count: 10000, HotSetSize: 100, HotFraction: 0.9}
+	g := NewRNG(14)
+	hot := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if h.Next(g) < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.88 || frac > 0.93 {
+		t.Fatalf("hotspot hot fraction %.3f, want ~0.90 (plus uniform bleed)", frac)
+	}
+}
+
+func TestSequentialIntWraps(t *testing.T) {
+	s := &SequentialInt{Count: 3}
+	g := NewRNG(1)
+	got := []int64{s.Next(g), s.Next(g), s.Next(g), s.Next(g)}
+	want := []int64{0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequential step %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickParetoAboveScale(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewRNG(seed)
+		p := Pareto{Xm: 2, Alpha: 1.5}
+		return p.Sample(g) >= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickZipfInRange(t *testing.T) {
+	f := func(seed uint64, cs uint16) bool {
+		count := int64(cs%1000) + 2
+		g := NewRNG(seed)
+		v := Zipf{Count: count, S: 1.1}.Next(g)
+		return v >= 0 && v < count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	cases := []struct {
+		name string
+		d    interface{ Name() string }
+	}{
+		{"uniform", Uniform{0, 1}},
+		{"gaussian", Gaussian{0, 1}},
+		{"exp", Exponential{1}},
+		{"pareto", Pareto{1, 2}},
+		{"poisson", Poisson{1}},
+		{"const", Constant{1}},
+		{"uniformint", UniformInt{5}},
+		{"zipf", Zipf{5, 1.1}},
+		{"scrambledzipf", ScrambledZipf{5, 1.1}},
+		{"hotspot", HotSpot{5, 1, 0.5}},
+		{"sequential", &SequentialInt{Count: 5}},
+		{"categorical", NewCategorical("c", []float64{1, 2})},
+	}
+	for _, c := range cases {
+		if c.d.Name() == "" {
+			t.Fatalf("%s: empty Name()", c.name)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package stats
+
+import "math"
+
+// GammaSample draws a Gamma(shape, 1) variate using the Marsaglia–Tsang
+// squeeze method, with the standard boost for shape < 1. Gamma variates are
+// the building block for Dirichlet sampling, which the LDA text generator
+// uses to draw per-document topic mixtures.
+func GammaSample(g *RNG, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := g.Float64()
+		for u == 0 {
+			u = g.Float64()
+		}
+		return GammaSample(g, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := g.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// DirichletSample draws a probability vector from Dirichlet(alpha) by
+// normalizing independent Gamma variates.
+func DirichletSample(g *RNG, alpha []float64) []float64 {
+	out := make([]float64, len(alpha))
+	total := 0.0
+	for i, a := range alpha {
+		out[i] = GammaSample(g, a)
+		total += out[i]
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// SymmetricDirichletSample draws from Dirichlet(alpha, ..., alpha) with k
+// components.
+func SymmetricDirichletSample(g *RNG, alpha float64, k int) []float64 {
+	a := make([]float64, k)
+	for i := range a {
+		a[i] = alpha
+	}
+	return DirichletSample(g, a)
+}

@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total %d, want 10", h.Total())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Observe(-5)  // clamps to first bin
+	h.Observe(100) // clamps to last bin
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("out-of-range clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramProbabilitiesSumToOne(t *testing.T) {
+	h := NewHistogram(0, 1, 7)
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		h.Observe(g.Float64())
+	}
+	sum := 0.0
+	for _, p := range h.Probabilities() {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum %.12f, want 1", sum)
+	}
+}
+
+func TestHistogramEmptyProbabilitiesUniform(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	p := h.Probabilities()
+	for _, v := range p {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("empty histogram probabilities %v, want uniform", p)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median %.2f, want ~50", med)
+	}
+	if q := h.Quantile(0); q > 5 {
+		t.Fatalf("q0 %.2f, want near min", q)
+	}
+	if q := h.Quantile(1); q < 95 {
+		t.Fatalf("q1 %.2f, want near max", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("quantile of empty histogram should be NaN")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 10, 10)
+	a.Observe(1)
+	b.Observe(2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 2 {
+		t.Fatalf("merged total %d, want 2", a.Total())
+	}
+	c := NewHistogram(0, 5, 10)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging mismatched histograms should error")
+	}
+}
+
+func TestHistogramConstructorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero bins", func() { NewHistogram(0, 1, 0) })
+	mustPanic("inverted range", func() { NewHistogram(1, 0, 4) })
+}
+
+func TestFreqTableBasics(t *testing.T) {
+	f := NewFreqTable()
+	f.Observe("a")
+	f.Observe("a")
+	f.Observe("b")
+	f.ObserveN("c", 5)
+	if f.Total() != 8 {
+		t.Fatalf("total %d, want 8", f.Total())
+	}
+	if f.Distinct() != 3 {
+		t.Fatalf("distinct %d, want 3", f.Distinct())
+	}
+	top := f.TopK(2)
+	if len(top) != 2 || top[0] != "c" || top[1] != "a" {
+		t.Fatalf("TopK = %v, want [c a]", top)
+	}
+}
+
+func TestFreqTableTopKTieBreak(t *testing.T) {
+	f := NewFreqTable()
+	f.Observe("z")
+	f.Observe("a")
+	top := f.TopK(10)
+	if len(top) != 2 || top[0] != "a" || top[1] != "z" {
+		t.Fatalf("ties must break lexicographically, got %v", top)
+	}
+}
+
+func TestAlignedProbabilities(t *testing.T) {
+	f := NewFreqTable()
+	g := NewFreqTable()
+	f.ObserveN("x", 3)
+	f.ObserveN("y", 1)
+	g.ObserveN("y", 2)
+	g.ObserveN("z", 2)
+	p, q := AlignedProbabilities(f, g)
+	if len(p) != 3 || len(q) != 3 {
+		t.Fatalf("aligned lengths %d/%d, want 3", len(p), len(q))
+	}
+	// keys sorted: x, y, z
+	if math.Abs(p[0]-0.75) > 1e-12 || math.Abs(p[1]-0.25) > 1e-12 || p[2] != 0 {
+		t.Fatalf("p = %v", p)
+	}
+	if q[0] != 0 || math.Abs(q[1]-0.5) > 1e-12 || math.Abs(q[2]-0.5) > 1e-12 {
+		t.Fatalf("q = %v", q)
+	}
+}
+
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	var l LatencyHistogram
+	durations := make([]time.Duration, 0, 1000)
+	g := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(g.IntN(10000)) * time.Microsecond
+		durations = append(durations, d)
+		l.Observe(d)
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	exact := durations[500]
+	got := l.Quantile(0.5)
+	// Buckets have ~1.6% relative error at this magnitude.
+	ratio := float64(got) / float64(exact)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("p50 %v, exact %v (ratio %.3f)", got, exact, ratio)
+	}
+	if l.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", l.Count())
+	}
+	if l.Max() != durations[999] {
+		t.Fatalf("max %v, want %v", l.Max(), durations[999])
+	}
+}
+
+func TestLatencyHistogramWideRange(t *testing.T) {
+	var l LatencyHistogram
+	inputs := []time.Duration{
+		0,
+		time.Microsecond,
+		time.Millisecond,
+		time.Second,
+		time.Minute,
+		30 * time.Minute,
+	}
+	for _, d := range inputs {
+		l.Observe(d)
+	}
+	if l.Count() != uint64(len(inputs)) {
+		t.Fatalf("count %d", l.Count())
+	}
+	if q := l.Quantile(1.0); q < time.Minute {
+		t.Fatalf("q100 %v, want >= 1m", q)
+	}
+	if q := l.Quantile(0.01); q > time.Microsecond {
+		t.Fatalf("q1 %v, want tiny", q)
+	}
+}
+
+func TestLatencyHistogramNegativeClamped(t *testing.T) {
+	var l LatencyHistogram
+	l.Observe(-time.Second)
+	if l.Count() != 1 || l.Quantile(1) != 0 {
+		t.Fatal("negative duration should clamp to zero")
+	}
+}
+
+func TestLatencyHistogramMerge(t *testing.T) {
+	var a, b LatencyHistogram
+	a.Observe(time.Millisecond)
+	b.Observe(2 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count %d, want 2", a.Count())
+	}
+	if a.Max() != 2*time.Millisecond {
+		t.Fatalf("merged max %v", a.Max())
+	}
+}
+
+func TestLatencyHistogramMeanAccuracy(t *testing.T) {
+	var l LatencyHistogram
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	want := 50500 * time.Microsecond
+	if got := l.Mean(); got != want {
+		t.Fatalf("mean %v, want %v (mean is exact, not bucketed)", got, want)
+	}
+}
+
+func TestQuickHistogramQuantileMonotonic(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewRNG(seed)
+		h := NewHistogram(0, 1, 32)
+		for i := 0; i < 500; i++ {
+			h.Observe(g.Float64())
+		}
+		last := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < last-1e-9 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLatencyQuantileBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewRNG(seed)
+		var l LatencyHistogram
+		var maxSeen time.Duration
+		for i := 0; i < 200; i++ {
+			d := time.Duration(g.IntN(1<<20)) * time.Microsecond
+			if d > maxSeen {
+				maxSeen = d
+			}
+			l.Observe(d)
+		}
+		return l.Quantile(1.0) <= maxSeen && l.Quantile(0) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSplitIndependentOfConsumption(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	// Consume some of b's stream before splitting; children must agree.
+	for i := 0; i < 17; i++ {
+		b.Uint64()
+	}
+	ca := a.Split("chunk", 3)
+	cb := b.Split("chunk", 3)
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatalf("split children diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitChildrenDiffer(t *testing.T) {
+	g := NewRNG(7)
+	c0 := g.Split("chunk", 0)
+	c1 := g.Split("chunk", 1)
+	cother := g.Split("other", 0)
+	if c0.Uint64() == c1.Uint64() && c0.Uint64() == c1.Uint64() {
+		t.Fatal("children with different indexes produced identical streams")
+	}
+	if c0.Seed() == cother.Seed() {
+		t.Fatal("children with different labels share a seed")
+	}
+}
+
+func TestRandomWordLengths(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		w := g.RandomWord(3, 9)
+		if len(w) < 3 || len(w) > 9 {
+			t.Fatalf("word %q out of requested length range", w)
+		}
+	}
+}
+
+func TestRandomWordDegenerateBounds(t *testing.T) {
+	g := NewRNG(1)
+	if w := g.RandomWord(0, 0); len(w) != 1 {
+		t.Fatalf("RandomWord(0,0) = %q, want single letter", w)
+	}
+	if w := g.RandomWord(5, 2); len(w) != 5 {
+		t.Fatalf("RandomWord(5,2) = %q, want length clamped to min", w)
+	}
+}
+
+func TestMix64IsBijectiveOnSample(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		m := Mix64(i)
+		if prev, ok := seen[m]; ok {
+			t.Fatalf("Mix64 collision: %d and %d both map to %d", prev, i, m)
+		}
+		seen[m] = i
+	}
+}
+
+func TestFNV64Stable(t *testing.T) {
+	if FNV64("bdbench") != FNV64("bdbench") {
+		t.Fatal("FNV64 is not stable")
+	}
+	if FNV64("a") == FNV64("b") {
+		t.Fatal("FNV64 trivial collision")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) hit fraction %.4f, want ~0.25", frac)
+	}
+}
+
+func TestQuickSplitDeterminism(t *testing.T) {
+	f := func(seed uint64, idx uint8) bool {
+		a := NewRNG(seed).Split("x", int(idx))
+		b := NewRNG(seed).Split("x", int(idx))
+		return a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

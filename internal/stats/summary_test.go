@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count %d, want 8", s.Count())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %g, want 5", s.Mean())
+	}
+	// Sample variance of that set is 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-9 {
+		t.Fatalf("variance %g, want %g", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %g/%g, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("empty summary min/max should be NaN")
+	}
+	if s.Variance() != 0 || s.Mean() != 0 {
+		t.Fatal("empty summary mean/variance should be 0")
+	}
+}
+
+func TestSummarySingleValue(t *testing.T) {
+	var s Summary
+	s.Observe(3)
+	if s.Variance() != 0 {
+		t.Fatalf("single-value variance %g, want 0", s.Variance())
+	}
+	if s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-value min/max wrong")
+	}
+}
+
+func TestSummaryMergeEquivalence(t *testing.T) {
+	g := NewRNG(41)
+	var whole, left, right Summary
+	for i := 0; i < 1000; i++ {
+		v := g.NormFloat64()*3 + 10
+		whole.Observe(v)
+		if i < 400 {
+			left.Observe(v)
+		} else {
+			right.Observe(v)
+		}
+	}
+	left.Merge(&right)
+	if left.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", left.Count(), whole.Count())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %g, want %g", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Variance()-whole.Variance()) > 1e-9 {
+		t.Fatalf("merged variance %g, want %g", left.Variance(), whole.Variance())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestSummaryMergeWithEmpty(t *testing.T) {
+	var a, b Summary
+	a.Observe(5)
+	a.Merge(&b) // merging empty is a no-op
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Fatal("merge with empty changed summary")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 5 {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestQuickSummaryMergeMatchesSequential(t *testing.T) {
+	f := func(seed uint64, split uint8) bool {
+		g := NewRNG(seed)
+		n := 100
+		cut := int(split) % n
+		var whole, a, b Summary
+		for i := 0; i < n; i++ {
+			v := g.Float64() * 100
+			whole.Observe(v)
+			if i < cut {
+				a.Observe(v)
+			} else {
+				b.Observe(v)
+			}
+		}
+		a.Merge(&b)
+		return a.Count() == whole.Count() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package suites
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/datagen/veracity"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+func TestAllSuitesWellFormed(t *testing.T) {
+	all := All()
+	if len(all) != 11 { // 10 surveyed + bdbench
+		t.Fatalf("suites %d, want 11", len(all))
+	}
+	for _, s := range all {
+		if s.Name == "" || len(s.Datasets) == 0 || len(s.Rows) == 0 || len(s.SoftwareStacks) == 0 {
+			t.Fatalf("suite %q incomplete", s.Name)
+		}
+		for _, d := range s.Datasets {
+			if d.Size == nil || d.Size(1) <= 0 {
+				t.Fatalf("suite %q dataset %q has no size", s.Name, d.Name)
+			}
+		}
+		for _, r := range s.Rows {
+			if len(r.Runners) == 0 || len(r.Examples) == 0 {
+				t.Fatalf("suite %q has an empty workload row", s.Name)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("YCSB"); !ok {
+		t.Fatal("YCSB missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown suite found")
+	}
+}
+
+func TestProbeVolume(t *testing.T) {
+	hibench, _ := ByName("HiBench")
+	class, ev := ProbeVolume(hibench)
+	if class != VolumePartially {
+		t.Fatalf("HiBench volume %s, want partially scalable (fixed seed corpus)", class)
+	}
+	foundFixed := false
+	for _, e := range ev {
+		if !e.Scales {
+			foundFixed = true
+		}
+	}
+	if !foundFixed {
+		t.Fatal("no fixed dataset in evidence")
+	}
+	ycsb, _ := ByName("YCSB")
+	if class, _ := ProbeVolume(ycsb); class != VolumeScalable {
+		t.Fatalf("YCSB volume %s, want scalable", class)
+	}
+}
+
+func TestProbeVelocityClasses(t *testing.T) {
+	hibench, _ := ByName("HiBench")
+	class, _, err := ProbeVelocity(hibench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != VelocityUncontrollable {
+		t.Fatalf("HiBench velocity %s", class)
+	}
+	tpcds, _ := ByName("TPC-DS")
+	class, ev, err := ProbeVelocity(tpcds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != VelocitySemiControllable {
+		t.Fatalf("TPC-DS velocity %s", class)
+	}
+	if ev.RateLowAchieved <= 0 || ev.RateHiAchieved <= ev.RateLowAchieved {
+		t.Fatalf("rate evidence not measured: %+v", ev)
+	}
+	ours, _ := ByName("bdbench (this work)")
+	class, ev, err = ProbeVelocity(ours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != VelocityFullControllable {
+		t.Fatalf("bdbench velocity %s, want fully controllable", class)
+	}
+	if ev.UpdateAchieved == 0 {
+		t.Fatal("update-frequency evidence missing")
+	}
+}
+
+func TestVeracityApproachLevels(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (VeracityScores, error)
+		want veracity.Level
+	}{
+		{"text-random", func() (VeracityScores, error) { return MeasureTextVeracity(TextRandom, 500) }, veracity.LevelUnconsidered},
+		{"text-lda", func() (VeracityScores, error) { return MeasureTextVeracity(TextLDA, 500) }, veracity.LevelConsidered},
+		{"table-random", func() (VeracityScores, error) { return MeasureTableVeracity(TableRandom, 500) }, veracity.LevelUnconsidered},
+		{"table-moment", func() (VeracityScores, error) { return MeasureTableVeracity(TableMoment, 500) }, veracity.LevelPartial},
+		{"table-profiled", func() (VeracityScores, error) { return MeasureTableVeracity(TableProfiled, 500) }, veracity.LevelConsidered},
+		{"graph-random", func() (VeracityScores, error) { return MeasureGraphVeracity(GraphRandom, 500) }, veracity.LevelUnconsidered},
+		{"graph-approx", func() (VeracityScores, error) { return MeasureGraphVeracity(GraphApprox, 500) }, veracity.LevelPartial},
+		{"graph-matched", func() (VeracityScores, error) { return MeasureGraphVeracity(GraphMatched, 500) }, veracity.LevelConsidered},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			sc, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Level != c.want {
+				t.Fatalf("level %s (score=%.4f floor=%.4f base=%.4f), want %s",
+					sc.Level, sc.Score, sc.NoiseFloor, sc.Baseline, c.want)
+			}
+		})
+	}
+}
+
+func TestVeracityMeasureErrors(t *testing.T) {
+	if _, err := MeasureTextVeracity(TextNone, 1); err == nil {
+		t.Fatal("TextNone accepted")
+	}
+	if _, err := MeasureTableVeracity(TableNone, 1); err == nil {
+		t.Fatal("TableNone accepted")
+	}
+	if _, err := MeasureGraphVeracity(GraphNone, 1); err == nil {
+		t.Fatal("GraphNone accepted")
+	}
+}
+
+func TestDeriveTable1MatchesPaper(t *testing.T) {
+	// The headline Table 1 reproduction: every derived cell must match the
+	// paper's published classification for all ten surveyed suites.
+	rows, err := DeriveTable1(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	diffs := CompareToPaper(rows)
+	if len(diffs) != 0 {
+		t.Fatalf("derived Table 1 disagrees with the paper:\n  %s", strings.Join(diffs, "\n  "))
+	}
+	// The bdbench extension row exceeds every surveyed suite on velocity.
+	last := rows[len(rows)-1]
+	if last.Velocity != VelocityFullControllable || last.Veracity != veracity.LevelConsidered {
+		t.Fatalf("bdbench row: %+v", last)
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "BigDataBench") || !strings.Contains(out, "Considered") {
+		t.Fatal("formatted table incomplete")
+	}
+}
+
+func TestDeriveTable2MatchesPaper(t *testing.T) {
+	rows := DeriveTable2()
+	diffs := CompareTable2ToPaper(rows)
+	if len(diffs) != 0 {
+		t.Fatalf("derived Table 2 disagrees with the paper:\n  %s", strings.Join(diffs, "\n  "))
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "ycsb") && !strings.Contains(out, "OLTP") {
+		t.Fatal("formatted table incomplete")
+	}
+}
+
+func TestEveryDistinctWorkloadRuns(t *testing.T) {
+	// Run each distinct workload across all suite inventories once at
+	// small scale; Table 2's rows are executable, not just descriptive.
+	seen := map[string]bool{}
+	for _, s := range All() {
+		for _, row := range s.Rows {
+			for _, w := range row.Runners {
+				if seen[w.Name()] {
+					continue
+				}
+				seen[w.Name()] = true
+				w := w
+				t.Run(w.Name(), func(t *testing.T) {
+					t.Parallel()
+					c := newCollector(w.Name())
+					if err := w.Run(workloads.Params{Seed: 77, Scale: 1, Workers: 2}, c); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+	if len(seen) < 15 {
+		t.Fatalf("only %d distinct workloads across all suites", len(seen))
+	}
+}
+
+func TestRunSuiteCollectsResults(t *testing.T) {
+	gridmix, _ := ByName("GridMix")
+	results := RunSuite(gridmix, workloads.Params{Seed: 7, Scale: 1, Workers: 2})
+	if len(results) != 2 {
+		t.Fatalf("results %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Workload, r.Err)
+		}
+		if r.Result.Elapsed <= 0 {
+			t.Fatalf("%s: no elapsed time", r.Workload)
+		}
+	}
+}
+
+func TestLinkBenchOpsDirect(t *testing.T) {
+	c := newCollector("linkbench")
+	if err := (LinkBenchOps{}).Run(workloads.Params{Seed: 3, Scale: 1, Workers: 2}, c); err != nil {
+		t.Fatal(err)
+	}
+	c.SetElapsed(1)
+	r := c.Snapshot()
+	wantOps := map[string]bool{"select": false, "assoc_range": false, "count": false, "update": false, "insert": false}
+	for _, op := range r.Ops {
+		if _, ok := wantOps[op.Op]; ok {
+			wantOps[op.Op] = true
+		}
+	}
+	for op, seen := range wantOps {
+		if !seen {
+			t.Fatalf("linkbench never executed %q", op)
+		}
+	}
+}
+
+func newCollector(name string) *metrics.Collector { return metrics.NewCollector(name) }

@@ -1,0 +1,141 @@
+package testgen
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+)
+
+// This file implements the five-step test generation process of Figure 4:
+// (1) select a data set, (2) select abstracted operations, (3) select
+// workload patterns, (4) generate a prescription, (5) create a prescribed
+// test for a specific system and software stack.
+
+// StepTrace records one pipeline step for the figure reproduction.
+type StepTrace struct {
+	Step     int
+	Name     string
+	Detail   string
+	Duration time.Duration
+}
+
+// Pipeline drives the Figure 4 process and records a step trace.
+type Pipeline struct {
+	Registry   *Registry
+	Repository *Repository
+	Trace      []StepTrace
+}
+
+// NewPipeline returns a pipeline over fresh registry and repository.
+func NewPipeline() *Pipeline {
+	return &Pipeline{Registry: NewRegistry(), Repository: NewRepository()}
+}
+
+func (pl *Pipeline) trace(step int, name, detail string, d time.Duration) {
+	pl.Trace = append(pl.Trace, StepTrace{Step: step, Name: name, Detail: detail, Duration: d})
+}
+
+// PrescribedTest is the output of the pipeline: a prescription bound to an
+// executor factory for one software stack.
+type PrescribedTest struct {
+	Prescription Prescription
+	StackName    string
+	NewExecutor  func() Executor
+}
+
+// Run executes the prescribed test and returns its result dataset.
+func (t PrescribedTest) Run(reg *Registry, c *metrics.Collector) (Dataset, error) {
+	return RunOn(t.NewExecutor(), t.Prescription, reg, c)
+}
+
+// Generate performs steps 1-5: it builds (or fetches) a prescription from
+// the selections and binds it to each requested stack, returning one
+// prescribed test per stack.
+func (pl *Pipeline) Generate(data DataSpec, steps []Step, kind PatternKind, stop StopCondition, maxIter int, stackFactories map[string]func() Executor) ([]PrescribedTest, error) {
+	t0 := time.Now()
+	main, second, err := GenerateData(data)
+	if err != nil {
+		return nil, err
+	}
+	pl.trace(1, "select data set",
+		fmt.Sprintf("source=%s size=%d second=%d", data.Source, len(main), len(second)), time.Since(t0))
+
+	t1 := time.Now()
+	for _, s := range steps {
+		if _, err := pl.Registry.Get(s.Op); err != nil {
+			return nil, err
+		}
+	}
+	pl.trace(2, "select operations", fmt.Sprintf("%d of %d available", len(steps), len(pl.Registry.Names())), time.Since(t1))
+
+	t2 := time.Now()
+	pl.trace(3, "select workload pattern", string(kind), time.Since(t2))
+
+	t3 := time.Now()
+	p := Prescription{
+		Name:    fmt.Sprintf("generated-%s-%s", data.Source, kind),
+		Data:    data,
+		Kind:    kind,
+		Steps:   steps,
+		Stop:    stop,
+		MaxIter: maxIter,
+		Metrics: []string{"duration", "throughput"},
+	}
+	if err := p.Validate(pl.Registry); err != nil {
+		return nil, err
+	}
+	pl.Repository.Add(p)
+	pl.trace(4, "generate prescription", p.Name, time.Since(t3))
+
+	t4 := time.Now()
+	var tests []PrescribedTest
+	for name, factory := range stackFactories {
+		tests = append(tests, PrescribedTest{Prescription: p, StackName: name, NewExecutor: factory})
+	}
+	pl.trace(5, "create prescribed tests", fmt.Sprintf("%d stacks", len(tests)), time.Since(t4))
+	return tests, nil
+}
+
+// DefaultExecutors returns the standard executor factories keyed by stack
+// name, including the abstract reference executor.
+func DefaultExecutors(workers int) map[string]func() Executor {
+	return map[string]func() Executor{
+		"reference": func() Executor { return &ReferenceExecutor{} },
+		"dbms":      func() Executor { return NewDBMSExecutor() },
+		"nosql":     func() Executor { return NewNoSQLExecutor(4, 1) },
+		"mapreduce": func() Executor { return NewMapReduceExecutor(workers) },
+	}
+}
+
+// VerifyPortability runs the prescription on every executor and checks the
+// functional view: all stacks must produce the same normalized dataset. It
+// returns per-stack results keyed by executor name.
+func VerifyPortability(p Prescription, reg *Registry, execs map[string]func() Executor) (map[string]Dataset, error) {
+	results := make(map[string]Dataset, len(execs))
+	for name, factory := range execs {
+		c := metrics.NewCollector(name)
+		out, err := RunOn(factory(), p, reg, c)
+		if err != nil {
+			return nil, fmt.Errorf("testgen: %s: %w", name, err)
+		}
+		results[name] = out
+	}
+	var refName string
+	var ref Dataset
+	if r, ok := results["reference"]; ok {
+		refName, ref = "reference", r
+	} else {
+		for name, r := range results {
+			refName, ref = name, r
+			break
+		}
+	}
+	for name, r := range results {
+		if !r.Equal(ref) {
+			return results, fmt.Errorf("testgen: functional view violated: %s disagrees with %s (%d vs %d records)",
+				name, refName, len(r), len(ref))
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,390 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+)
+
+func TestRegistryVocabulary(t *testing.T) {
+	reg := NewRegistry()
+	names := reg.Names()
+	want := []string{"count", "delete", "distinct", "enrich", "get", "join", "project", "put", "select", "sort", "top", "union"}
+	if len(names) != len(want) {
+		t.Fatalf("ops %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ops[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+	if _, err := reg.Get("nope"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestOperationArities(t *testing.T) {
+	reg := NewRegistry()
+	arities := map[string]Arity{
+		"select": ElementOp, "project": ElementOp, "put": ElementOp,
+		"get": ElementOp, "delete": ElementOp, "enrich": ElementOp,
+		"sort": SingleSetOp, "count": SingleSetOp, "distinct": SingleSetOp, "top": SingleSetOp,
+		"union": DoubleSetOp, "join": DoubleSetOp,
+	}
+	for name, want := range arities {
+		op, err := reg.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.Arity != want {
+			t.Fatalf("%s arity %s, want %s", name, op.Arity, want)
+		}
+	}
+}
+
+func TestReferenceSemantics(t *testing.T) {
+	reg := NewRegistry()
+	d := Dataset{{"k1", "apple pie"}, {"k2", "banana"}, {"k3", "apple tart"}}
+
+	sel, _ := mustOp(t, reg, "select").Apply(d, nil, "apple")
+	if len(sel) != 2 {
+		t.Fatalf("select %v", sel)
+	}
+	cnt, _ := mustOp(t, reg, "count").Apply(d, nil, "")
+	if cnt[0].Value != "3" {
+		t.Fatalf("count %v", cnt)
+	}
+	got, _ := mustOp(t, reg, "get").Apply(d, nil, "k2")
+	if len(got) != 1 || got[0].Value != "banana" {
+		t.Fatalf("get %v", got)
+	}
+	del, _ := mustOp(t, reg, "delete").Apply(d, nil, "k2")
+	if len(del) != 2 {
+		t.Fatalf("delete %v", del)
+	}
+	put, _ := mustOp(t, reg, "put").Apply(d, nil, "k2=cherry")
+	if put.Normalize()[1].Value != "cherry" {
+		t.Fatalf("put-update %v", put)
+	}
+	putNew, _ := mustOp(t, reg, "put").Apply(d, nil, "k9=new")
+	if len(putNew) != 4 {
+		t.Fatalf("put-insert %v", putNew)
+	}
+	if _, err := mustOp(t, reg, "put").Apply(d, nil, "noequals"); err == nil {
+		t.Fatal("bad put arg accepted")
+	}
+	srt, _ := mustOp(t, reg, "sort").Apply(Dataset{{"b", "2"}, {"a", "1"}}, nil, "")
+	if srt[0].Key != "a" {
+		t.Fatalf("sort %v", srt)
+	}
+	dis, _ := mustOp(t, reg, "distinct").Apply(Dataset{{"a", "1"}, {"a", "1"}, {"a", "2"}}, nil, "")
+	if len(dis) != 2 {
+		t.Fatalf("distinct %v", dis)
+	}
+	top, _ := mustOp(t, reg, "top").Apply(d, nil, "2")
+	if len(top) != 2 {
+		t.Fatalf("top %v", top)
+	}
+	if _, err := mustOp(t, reg, "top").Apply(d, nil, "x"); err == nil {
+		t.Fatal("bad top arg accepted")
+	}
+	uni, _ := mustOp(t, reg, "union").Apply(d, Dataset{{"z", "9"}}, "")
+	if len(uni) != 4 {
+		t.Fatalf("union %v", uni)
+	}
+	join, _ := mustOp(t, reg, "join").Apply(
+		Dataset{{"k", "left"}},
+		Dataset{{"k", "right1"}, {"k", "right2"}, {"x", "no"}}, "")
+	if len(join) != 2 || join[0].Value != "left|right1" {
+		t.Fatalf("join %v", join)
+	}
+}
+
+func mustOp(t *testing.T, reg *Registry, name string) Operation {
+	t.Helper()
+	op, err := reg.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestDatasetEqual(t *testing.T) {
+	a := Dataset{{"b", "2"}, {"a", "1"}}
+	b := Dataset{{"a", "1"}, {"b", "2"}}
+	if !a.Equal(b) {
+		t.Fatal("order should not matter")
+	}
+	if a.Equal(Dataset{{"a", "1"}}) {
+		t.Fatal("length mismatch accepted")
+	}
+	if a.Equal(Dataset{{"a", "1"}, {"b", "X"}}) {
+		t.Fatal("value mismatch accepted")
+	}
+}
+
+func TestPrescriptionValidate(t *testing.T) {
+	reg := NewRegistry()
+	for _, p := range BuiltinPrescriptions() {
+		if err := p.Validate(reg); err != nil {
+			t.Fatalf("builtin %q invalid: %v", p.Name, err)
+		}
+	}
+	bad := []Prescription{
+		{},
+		{Name: "x", Data: DataSpec{Source: "words", Size: 1}},
+		{Name: "x", Data: DataSpec{Source: "words", Size: 1}, Kind: SinglePattern,
+			Steps: []Step{{Op: "sort"}, {Op: "count"}}},
+		{Name: "x", Data: DataSpec{Source: "words", Size: 1}, Kind: IterativePattern,
+			Steps: []Step{{Op: "sort"}}},
+		{Name: "x", Data: DataSpec{Source: "words", Size: 1}, Kind: IterativePattern,
+			Steps: []Step{{Op: "sort"}}, Stop: StopCondition("weird")},
+		{Name: "x", Data: DataSpec{Source: "words", Size: 0}, Kind: SinglePattern,
+			Steps: []Step{{Op: "sort"}}},
+		{Name: "x", Data: DataSpec{Source: "words", Size: 1}, Kind: SinglePattern,
+			Steps: []Step{{Op: "nope"}}},
+		{Name: "x", Data: DataSpec{Source: "words", Size: 1}, Kind: SinglePattern,
+			Steps: []Step{{Op: "sort", UseSecond: true}}},
+		{Name: "x", Data: DataSpec{Source: "words", Size: 1}, Kind: SinglePattern,
+			Steps: []Step{{Op: "join", UseSecond: true}}}, // missing SecondSize
+		{Name: "x", Data: DataSpec{Source: "words", Size: 1, SecondSize: 1}, Kind: SinglePattern,
+			Steps: []Step{{Op: "join"}}}, // double-set without use_second
+	}
+	for i, p := range bad {
+		if err := p.Validate(reg); err == nil {
+			t.Fatalf("bad prescription %d accepted", i)
+		}
+	}
+}
+
+func TestPrescriptionJSONRoundTrip(t *testing.T) {
+	p := BuiltinPrescriptions()[0]
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPrescription(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || len(got.Steps) != len(p.Steps) || got.Kind != p.Kind {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := UnmarshalPrescription([]byte("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestRepository(t *testing.T) {
+	repo := NewRepository()
+	if len(repo.Names()) != len(BuiltinPrescriptions()) {
+		t.Fatalf("builtin count %d", len(repo.Names()))
+	}
+	if _, err := repo.Get("sort-only"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Get("missing"); err == nil {
+		t.Fatal("missing accepted")
+	}
+	repo.Add(Prescription{Name: "custom"})
+	if _, err := repo.Get("custom"); err != nil {
+		t.Fatal("added prescription not found")
+	}
+}
+
+func TestGenerateData(t *testing.T) {
+	main, second, err := GenerateData(DataSpec{Source: "words", Size: 100, Seed: 1, SecondSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(main) != 100 || len(second) != 10 {
+		t.Fatalf("sizes %d/%d", len(main), len(second))
+	}
+	// Deterministic.
+	again, _, _ := GenerateData(DataSpec{Source: "words", Size: 100, Seed: 1, SecondSize: 10})
+	if !main.Equal(again) {
+		t.Fatal("data generation not deterministic")
+	}
+	if _, _, err := GenerateData(DataSpec{Source: "nope", Size: 1}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestAllExecutorsAgreeOnBuiltins(t *testing.T) {
+	// The paper's central testgen claim (E10): the same abstract test
+	// produces the same functional outcome on every software stack.
+	reg := NewRegistry()
+	execs := DefaultExecutors(4)
+	for _, p := range BuiltinPrescriptions() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			results, err := VerifyPortability(p, reg, execs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != len(execs) {
+				t.Fatalf("results from %d stacks, want %d", len(results), len(execs))
+			}
+		})
+	}
+}
+
+func TestIterativePatternStops(t *testing.T) {
+	reg := NewRegistry()
+	p := Prescription{
+		Name:    "iter",
+		Data:    DataSpec{Source: "words", Size: 2000, Seed: 9},
+		Kind:    IterativePattern,
+		Steps:   []Step{{Op: "select", Arg: "data"}},
+		Stop:    StopWhenStable,
+		MaxIter: 50,
+	}
+	c := metrics.NewCollector("iter")
+	out, err := RunOn(&ReferenceExecutor{}, p, reg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := c.Counter("iterations")
+	// select is idempotent, so exactly 2 iterations: one that shrinks,
+	// one that observes stability.
+	if iters != 2 {
+		t.Fatalf("iterations %d, want 2", iters)
+	}
+	for _, rec := range out {
+		if !strings.Contains(rec.Value, "data") {
+			t.Fatalf("non-matching record survived: %v", rec)
+		}
+	}
+}
+
+func TestIterativeBelowSize(t *testing.T) {
+	reg := NewRegistry()
+	p := Prescription{
+		Name:    "shrink",
+		Data:    DataSpec{Source: "words", Size: 1000, Seed: 10},
+		Kind:    IterativePattern,
+		Steps:   []Step{{Op: "top", Arg: "500"}, {Op: "top", Arg: "250"}},
+		Stop:    StopBelowSize,
+		StopArg: 300,
+		MaxIter: 50,
+	}
+	c := metrics.NewCollector("shrink")
+	out, err := RunOn(&ReferenceExecutor{}, p, reg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) >= 300 {
+		t.Fatalf("stop condition ignored: %d records", len(out))
+	}
+}
+
+func TestPipelineTrace(t *testing.T) {
+	pl := NewPipeline()
+	tests, err := pl.Generate(
+		DataSpec{Source: "pairs", Size: 500, Seed: 1},
+		[]Step{{Op: "select", Arg: "v"}, {Op: "count"}},
+		MultiPattern, "", 0,
+		DefaultExecutors(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 4 {
+		t.Fatalf("tests %d", len(tests))
+	}
+	if len(pl.Trace) != 5 {
+		t.Fatalf("trace steps %d, want 5 (Figure 4)", len(pl.Trace))
+	}
+	for i, tr := range pl.Trace {
+		if tr.Step != i+1 || tr.Name == "" {
+			t.Fatalf("trace %d: %+v", i, tr)
+		}
+	}
+	// The generated prescription landed in the repository.
+	if _, err := pl.Repository.Get(tests[0].Prescription.Name); err != nil {
+		t.Fatal(err)
+	}
+	// Run one of the prescribed tests.
+	c := metrics.NewCollector("t")
+	out, err := tests[0].Run(pl.Registry, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Key != "count" {
+		t.Fatalf("result %v", out)
+	}
+}
+
+func TestPipelineRejectsUnknownOp(t *testing.T) {
+	pl := NewPipeline()
+	_, err := pl.Generate(DataSpec{Source: "pairs", Size: 10, Seed: 1},
+		[]Step{{Op: "explode"}}, SinglePattern, "", 0, DefaultExecutors(1))
+	if err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestDBMSExecutorPointOps(t *testing.T) {
+	reg := NewRegistry()
+	e := NewDBMSExecutor()
+	if err := e.Load(Dataset{{"k1", "v1"}, {"k2", "v2"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	steps := []Step{
+		{Op: "put", Arg: "k3=v3"},
+		{Op: "put", Arg: "k1=updated"},
+		{Op: "delete", Arg: "k2"},
+	}
+	for _, s := range steps {
+		if err := e.Exec(s, reg); err != nil {
+			t.Fatalf("%s: %v", s.Op, err)
+		}
+	}
+	out, err := e.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Dataset{{"k1", "updated"}, {"k3", "v3"}}
+	if !out.Equal(want) {
+		t.Fatalf("result %v, want %v", out, want)
+	}
+}
+
+func TestNoSQLExecutorCollapsedState(t *testing.T) {
+	reg := NewRegistry()
+	e := NewNoSQLExecutor(4, 1)
+	// Duplicate keys after a join force the collapsed client-side path.
+	if err := e.Load(Dataset{{"k", "a"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.second = Dataset{{"k", "x"}, {"k", "y"}}
+	if err := e.Exec(Step{Op: "join", UseSecond: true}, reg); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := e.Result()
+	if len(out) != 2 {
+		t.Fatalf("join result %v", out)
+	}
+	// Further ops on collapsed state still work.
+	if err := e.Exec(Step{Op: "count"}, reg); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = e.Result()
+	if out[0].Value != "2" {
+		t.Fatalf("count on collapsed %v", out)
+	}
+}
+
+func TestMapReduceExecutorUnsupportedOp(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(Operation{Name: "custom", Arity: SingleSetOp,
+		Apply: func(a, _ Dataset, _ string) (Dataset, error) { return a, nil }})
+	e := NewMapReduceExecutor(2)
+	if err := e.Load(Dataset{{"a", "b"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(Step{Op: "custom"}, reg); err == nil {
+		t.Fatal("unsupported op accepted")
+	}
+}

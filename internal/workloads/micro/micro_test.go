@@ -1,0 +1,73 @@
+package micro
+
+import (
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+func runWorkload(t *testing.T, w workloads.Workload) *metrics.Collector {
+	t.Helper()
+	c := metrics.NewCollector(w.Name())
+	c.Start()
+	if err := w.Run(workloads.Params{Seed: 42, Scale: 1, Workers: 4}, c); err != nil {
+		t.Fatalf("%s: %v", w.Name(), err)
+	}
+	c.Stop()
+	return c
+}
+
+func TestWordCount(t *testing.T) {
+	c := runWorkload(t, WordCount{})
+	if c.Counter("records") != 1000 {
+		t.Fatalf("records %d", c.Counter("records"))
+	}
+	if c.Counter("shuffle_bytes") == 0 {
+		t.Fatal("no shuffle bytes recorded")
+	}
+}
+
+func TestGrep(t *testing.T) {
+	c := runWorkload(t, Grep{})
+	if c.Counter("matches") == 0 {
+		t.Fatal("grep found no matches (pattern 'data' is in the dictionary)")
+	}
+}
+
+func TestGrepCustomPatternNoMatches(t *testing.T) {
+	c := metrics.NewCollector("grep")
+	if err := (Grep{Pattern: "zzzznotaword"}).Run(workloads.Params{Seed: 1, Scale: 1}, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counter("matches") != 0 {
+		t.Fatal("impossible pattern matched")
+	}
+}
+
+func TestSort(t *testing.T) {
+	runWorkload(t, Sort{})
+}
+
+func TestTeraSort(t *testing.T) {
+	runWorkload(t, TeraSort{})
+}
+
+func TestMetadata(t *testing.T) {
+	for _, w := range []workloads.Workload{WordCount{}, Grep{}, Sort{}, TeraSort{}} {
+		if w.Name() == "" || w.Domain() != "micro" || w.Category() != workloads.Offline {
+			t.Fatalf("%T metadata wrong", w)
+		}
+		if len(w.StackTypes()) != 1 || w.StackTypes()[0] != stacks.TypeMapReduce {
+			t.Fatalf("%T stack types wrong", w)
+		}
+	}
+}
+
+func TestDescribeAll(t *testing.T) {
+	infos := workloads.DescribeAll([]workloads.Workload{WordCount{}, Sort{}})
+	if len(infos) != 2 || infos[0].Name != "wordcount" {
+		t.Fatalf("DescribeAll %v", infos)
+	}
+}

@@ -1,0 +1,232 @@
+// Package oltp implements YCSB's core cloud-serving workloads A-F against
+// the NoSQL substrate — the "online services" row of the paper's Table 2
+// for YCSB and CloudSuite. Each workload is a ratio mix of read, update,
+// insert, scan and read-modify-write operations under a configurable
+// request distribution (zipfian, uniform or latest).
+package oltp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/stacks/nosql"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// Distribution selects the request key distribution.
+type Distribution string
+
+// The supported request distributions.
+const (
+	DistZipfian Distribution = "zipfian"
+	DistUniform Distribution = "uniform"
+	DistLatest  Distribution = "latest"
+)
+
+// Mix is the operation ratio of a core workload; fractions must sum to 1.
+type Mix struct {
+	Read   float64
+	Update float64
+	Insert float64
+	Scan   float64
+	RMW    float64
+}
+
+// CoreWorkload is a parameterized YCSB workload.
+type CoreWorkload struct {
+	Label       string
+	Mix         Mix
+	Dist        Distribution
+	FieldCount  int // fields per record (default 10)
+	FieldLen    int // bytes per field (default 100)
+	MaxScanLen  int // default 100
+	OpsPerScale int // operations per Scale unit (default 10000)
+}
+
+// The six standard workloads, with YCSB's canonical mixes.
+var (
+	// WorkloadA is update-heavy: 50/50 read/update, zipfian.
+	WorkloadA = CoreWorkload{Label: "A", Mix: Mix{Read: 0.5, Update: 0.5}, Dist: DistZipfian}
+	// WorkloadB is read-mostly: 95/5 read/update, zipfian.
+	WorkloadB = CoreWorkload{Label: "B", Mix: Mix{Read: 0.95, Update: 0.05}, Dist: DistZipfian}
+	// WorkloadC is read-only, zipfian.
+	WorkloadC = CoreWorkload{Label: "C", Mix: Mix{Read: 1}, Dist: DistZipfian}
+	// WorkloadD reads the latest inserts: 95/5 read/insert, latest.
+	WorkloadD = CoreWorkload{Label: "D", Mix: Mix{Read: 0.95, Insert: 0.05}, Dist: DistLatest}
+	// WorkloadE scans short ranges: 95/5 scan/insert, zipfian.
+	WorkloadE = CoreWorkload{Label: "E", Mix: Mix{Scan: 0.95, Insert: 0.05}, Dist: DistZipfian}
+	// WorkloadF read-modify-writes: 50/50 read/RMW, zipfian.
+	WorkloadF = CoreWorkload{Label: "F", Mix: Mix{Read: 0.5, RMW: 0.5}, Dist: DistZipfian}
+)
+
+// All returns the six standard workloads.
+func All() []CoreWorkload {
+	return []CoreWorkload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF}
+}
+
+// Name implements workloads.Workload.
+func (w CoreWorkload) Name() string { return "ycsb-" + w.Label }
+
+// Category implements workloads.Workload.
+func (CoreWorkload) Category() workloads.Category { return workloads.Online }
+
+// Domain implements workloads.Workload.
+func (CoreWorkload) Domain() string { return "cloud OLTP" }
+
+// StackTypes implements workloads.Workload.
+func (CoreWorkload) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeNoSQL} }
+
+func (w CoreWorkload) defaults() CoreWorkload {
+	if w.FieldCount <= 0 {
+		w.FieldCount = 10
+	}
+	if w.FieldLen <= 0 {
+		w.FieldLen = 100
+	}
+	if w.MaxScanLen <= 0 {
+		w.MaxScanLen = 100
+	}
+	if w.OpsPerScale <= 0 {
+		w.OpsPerScale = 10000
+	}
+	return w
+}
+
+func key(id int64) string { return fmt.Sprintf("user%012d", id) }
+
+func makeRecord(g *stats.RNG, fields, fieldLen int) nosql.Record {
+	rec := make(nosql.Record, fields)
+	for f := 0; f < fields; f++ {
+		rec[fmt.Sprintf("field%d", f)] = g.RandomWord(fieldLen, fieldLen)
+	}
+	return rec
+}
+
+// Load populates the store with recordCount records.
+func (w CoreWorkload) Load(store *nosql.Store, g *stats.RNG, recordCount int64) {
+	w = w.defaults()
+	for i := int64(0); i < recordCount; i++ {
+		store.Insert(key(i), makeRecord(g, w.FieldCount, w.FieldLen))
+	}
+}
+
+// Run implements workloads.Workload: load Scale*10000 records, then execute
+// Scale*OpsPerScale operations from Workers concurrent clients, recording
+// per-operation latencies.
+func (w CoreWorkload) Run(p workloads.Params, c *metrics.Collector) error {
+	w = w.defaults()
+	p = p.WithDefaults()
+	recordCount := int64(p.Scale) * 10000
+	opCount := int64(p.Scale) * int64(w.OpsPerScale)
+
+	store := nosql.Open(max(p.Workers, 4), p.Seed)
+	loadG := stats.NewRNG(p.Seed)
+	loadStart := time.Now()
+	w.Load(store, loadG, recordCount)
+	c.ObserveLatency("load", time.Since(loadStart))
+
+	run := &coreRun{insertCursor: recordCount}
+	var wg sync.WaitGroup
+	perClient := opCount / int64(p.Workers)
+	for cl := 0; cl < p.Workers; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			g := stats.NewRNG(p.Seed).Split("client", cl)
+			chooser := w.chooser(&run.insertCursor, recordCount)
+			for op := int64(0); op < perClient; op++ {
+				w.doOne(store, g, chooser, run, c)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	c.Add("records", opCount)
+	c.Add("errors", atomic.LoadInt64(&run.errCount))
+
+	// The insert cursor publishes an id only after the record is in the
+	// store, so no operation should ever observe a missing key. Any error
+	// is a correctness failure.
+	if n := atomic.LoadInt64(&run.errCount); n > 0 {
+		return fmt.Errorf("ycsb-%s: %d operation errors", w.Label, n)
+	}
+	return nil
+}
+
+// coreRun is the shared mutable state of one workload execution.
+type coreRun struct {
+	// insertCursor is the count of keys guaranteed visible in the store.
+	// It is read atomically by key choosers and advanced under insertMu
+	// only after the corresponding Insert completes, so readers never
+	// select a not-yet-inserted key.
+	insertCursor int64
+	insertMu     sync.Mutex
+	errCount     int64
+}
+
+// chooser builds the key sampler for the workload's distribution. The
+// insertCursor pointer lets "latest" track concurrent inserts.
+func (w CoreWorkload) chooser(insertCursor *int64, recordCount int64) stats.IntSampler {
+	switch w.Dist {
+	case DistUniform:
+		return stats.UniformInt{Count: recordCount}
+	case DistLatest:
+		return stats.Latest{Max: insertCursor, S: 1.1}
+	default:
+		return stats.ScrambledZipf{Count: recordCount, S: 1.1}
+	}
+}
+
+func (w CoreWorkload) doOne(store *nosql.Store, g *stats.RNG, chooser stats.IntSampler,
+	run *coreRun, c *metrics.Collector) {
+	u := g.Float64()
+	var op string
+	switch {
+	case u < w.Mix.Read:
+		op = "read"
+	case u < w.Mix.Read+w.Mix.Update:
+		op = "update"
+	case u < w.Mix.Read+w.Mix.Update+w.Mix.Insert:
+		op = "insert"
+	case u < w.Mix.Read+w.Mix.Update+w.Mix.Insert+w.Mix.Scan:
+		op = "scan"
+	default:
+		op = "rmw"
+	}
+	limit := atomic.LoadInt64(&run.insertCursor)
+	id := chooser.Next(g)
+	if id >= limit {
+		id = limit - 1
+	}
+	k := key(id)
+	t0 := time.Now()
+	var err error
+	switch op {
+	case "read":
+		_, err = store.Read(k, nil)
+	case "update":
+		err = store.Update(k, nosql.Record{"field0": g.RandomWord(w.FieldLen, w.FieldLen)})
+	case "insert":
+		rec := makeRecord(g, w.FieldCount, w.FieldLen)
+		run.insertMu.Lock()
+		next := atomic.LoadInt64(&run.insertCursor)
+		store.Insert(key(next), rec)
+		atomic.AddInt64(&run.insertCursor, 1)
+		run.insertMu.Unlock()
+	case "scan":
+		store.Scan(k, 1+g.IntN(w.MaxScanLen))
+	case "rmw":
+		err = store.ReadModifyWrite(k, func(rec nosql.Record) nosql.Record {
+			rec["field0"] = g.RandomWord(w.FieldLen, w.FieldLen)
+			return rec
+		})
+	}
+	c.ObserveLatency(op, time.Since(t0))
+	if err != nil {
+		atomic.AddInt64(&run.errCount, 1)
+	}
+}

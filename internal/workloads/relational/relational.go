@@ -1,0 +1,365 @@
+// Package relational implements the relational-analytics workloads of the
+// paper's survey: data loading, selection, aggregation and join — the task
+// set of the Pavlo et al. performance benchmark the paper cites, which
+// compared parallel DBMSs against MapReduce — plus the "count URL links"
+// task. Each task runs on the DBMS substrate and, where the original
+// benchmark compared the two, has a MapReduce twin so bdbench can reproduce
+// the comparison's shape.
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/data"
+	"github.com/bdbench/bdbench/internal/datagen/tablegen"
+	"github.com/bdbench/bdbench/internal/datagen/weblog"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/stacks/dbms"
+	"github.com/bdbench/bdbench/internal/stacks/mapreduce"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// ordersRows returns the reference orders table at Scale*2000 rows.
+func ordersRows(p workloads.Params) *data.Table {
+	return tablegen.ReferenceTable(p.Seed, int64(p.Scale)*2000)
+}
+
+// customersTable derives a small customers dimension table for joins.
+func customersTable(p workloads.Params) *data.Table {
+	spec := tablegen.TableSpec{
+		Name: "customers",
+		Seed: p.Seed + 1,
+		Columns: []tablegen.ColumnSpec{
+			{Name: "cid", Gen: tablegen.SeqColumn{}},
+			{Name: "segment", Gen: tablegen.CategoryColumn{Categories: []string{"retail", "wholesale", "b2b"}}},
+			{Name: "credit", Gen: tablegen.FloatColumn{Dist: stats.Uniform{Min: 0, Max: 1}}},
+		},
+	}
+	return spec.Generate(10000)
+}
+
+// LoadSelectAggregateJoin runs the Pavlo task sequence on the DBMS and
+// verifies each stage's result cardinality and values.
+type LoadSelectAggregateJoin struct{}
+
+// Name implements workloads.Workload.
+func (LoadSelectAggregateJoin) Name() string { return "pavlo-dbms" }
+
+// Category implements workloads.Workload.
+func (LoadSelectAggregateJoin) Category() workloads.Category { return workloads.Realtime }
+
+// Domain implements workloads.Workload.
+func (LoadSelectAggregateJoin) Domain() string { return "relational queries" }
+
+// StackTypes implements workloads.Workload.
+func (LoadSelectAggregateJoin) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeDBMS} }
+
+// Run implements workloads.Workload.
+func (LoadSelectAggregateJoin) Run(p workloads.Params, c *metrics.Collector) error {
+	p = p.WithDefaults()
+	orders := ordersRows(p)
+	customers := customersTable(p)
+	db := dbms.Open()
+
+	t0 := time.Now()
+	if err := db.Load(orders); err != nil {
+		return err
+	}
+	if err := db.Load(customers); err != nil {
+		return err
+	}
+	if err := db.CreateIndex("orders", "customer_id"); err != nil {
+		return err
+	}
+	c.ObserveLatency("load", time.Since(t0))
+
+	// Selection: express orders in one region.
+	t1 := time.Now()
+	sel, err := db.Query("SELECT order_id, price FROM orders WHERE region = 'eu' AND express = true")
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("select", time.Since(t1))
+	wantSel := 0
+	ri := orders.Schema.ColIndex("region")
+	ei := orders.Schema.ColIndex("express")
+	for _, row := range orders.Rows {
+		if row[ri].Str() == "eu" && row[ei].Bool() {
+			wantSel++
+		}
+	}
+	if sel.NumRows() != wantSel {
+		return fmt.Errorf("pavlo-dbms: selection %d rows, want %d", sel.NumRows(), wantSel)
+	}
+
+	// Aggregation: revenue per region.
+	t2 := time.Now()
+	agg, err := db.Query("SELECT region, sum(price) AS revenue, count(*) AS n FROM orders GROUP BY region ORDER BY revenue DESC")
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("aggregate", time.Since(t2))
+	if agg.NumRows() != 5 {
+		return fmt.Errorf("pavlo-dbms: aggregation %d groups, want 5 regions", agg.NumRows())
+	}
+	var totalN int64
+	for _, row := range agg.Rows {
+		totalN += row[2].Int()
+	}
+	if totalN != int64(orders.NumRows()) {
+		return fmt.Errorf("pavlo-dbms: aggregation counts %d, want %d", totalN, orders.NumRows())
+	}
+
+	// Join: orders x customers with a filter on the dimension table.
+	t3 := time.Now()
+	join, err := db.Query("SELECT order_id, segment FROM orders JOIN customers ON customer_id = cid WHERE segment = 'retail'")
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("join", time.Since(t3))
+	if join.NumRows() == 0 {
+		return fmt.Errorf("pavlo-dbms: empty join result")
+	}
+	for _, row := range join.Rows {
+		if row[1].Str() != "retail" {
+			return fmt.Errorf("pavlo-dbms: join leak: %v", row)
+		}
+	}
+	c.Add("records", int64(orders.NumRows()))
+	return nil
+}
+
+// MapReduceEquivalents runs the same selection/aggregation/join tasks as
+// MapReduce jobs over the CSV-ish encoding of the same table, reproducing
+// the other side of the Pavlo comparison.
+type MapReduceEquivalents struct{}
+
+// Name implements workloads.Workload.
+func (MapReduceEquivalents) Name() string { return "pavlo-mapreduce" }
+
+// Category implements workloads.Workload.
+func (MapReduceEquivalents) Category() workloads.Category { return workloads.Offline }
+
+// Domain implements workloads.Workload.
+func (MapReduceEquivalents) Domain() string { return "relational queries" }
+
+// StackTypes implements workloads.Workload.
+func (MapReduceEquivalents) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
+
+// Run implements workloads.Workload.
+func (MapReduceEquivalents) Run(p workloads.Params, c *metrics.Collector) error {
+	p = p.WithDefaults()
+	orders := ordersRows(p)
+	customers := customersTable(p)
+	eng := mapreduce.New(p.Workers)
+
+	// Encode orders as "order_id|customer_id|price|region|express".
+	oi := func(name string) int { return orders.Schema.ColIndex(name) }
+	encodeOrders := make([]mapreduce.KV, orders.NumRows())
+	for i, row := range orders.Rows {
+		encodeOrders[i] = mapreduce.KV{
+			Key: strconv.Itoa(i),
+			Value: strings.Join([]string{
+				row[oi("order_id")].String(),
+				row[oi("customer_id")].String(),
+				row[oi("price")].String(),
+				row[oi("region")].String(),
+				row[oi("express")].String(),
+			}, "|"),
+		}
+	}
+
+	// Selection.
+	t1 := time.Now()
+	sel, _, err := eng.Run(mapreduce.Job{
+		Name: "mr-select",
+		Map: func(k, v string, emit func(k, v string)) {
+			f := strings.Split(v, "|")
+			if f[3] == "eu" && f[4] == "true" {
+				emit(f[0], f[2])
+			}
+		},
+	}, encodeOrders)
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("select", time.Since(t1))
+
+	wantSel := 0
+	ri, ei := oi("region"), oi("express")
+	for _, row := range orders.Rows {
+		if row[ri].Str() == "eu" && row[ei].Bool() {
+			wantSel++
+		}
+	}
+	if len(sel) != wantSel {
+		return fmt.Errorf("pavlo-mapreduce: selection %d, want %d", len(sel), wantSel)
+	}
+
+	// Aggregation: revenue per region.
+	t2 := time.Now()
+	agg, _, err := eng.Run(mapreduce.Job{
+		Name: "mr-aggregate",
+		Map: func(k, v string, emit func(k, v string)) {
+			f := strings.Split(v, "|")
+			emit(f[3], f[2])
+		},
+		Reduce: func(region string, prices []string, emit func(k, v string)) {
+			sum := 0.0
+			for _, s := range prices {
+				f, _ := strconv.ParseFloat(s, 64)
+				sum += f
+			}
+			emit(region, strconv.FormatFloat(sum, 'f', 2, 64))
+		},
+	}, encodeOrders)
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("aggregate", time.Since(t2))
+	if len(agg) != 5 {
+		return fmt.Errorf("pavlo-mapreduce: aggregation %d groups, want 5", len(agg))
+	}
+
+	// Repartition join: tag records by source, join in the reducer.
+	ci := func(name string) int { return customers.Schema.ColIndex(name) }
+	joinInput := make([]mapreduce.KV, 0, orders.NumRows()+customers.NumRows())
+	for _, row := range orders.Rows {
+		joinInput = append(joinInput, mapreduce.KV{
+			Key:   row[oi("customer_id")].String(),
+			Value: "O|" + row[oi("order_id")].String(),
+		})
+	}
+	for _, row := range customers.Rows {
+		joinInput = append(joinInput, mapreduce.KV{
+			Key:   row[ci("cid")].String(),
+			Value: "C|" + row[ci("segment")].String(),
+		})
+	}
+	t3 := time.Now()
+	joined, _, err := eng.Run(mapreduce.Job{
+		Name: "mr-join",
+		Map:  func(k, v string, emit func(k, v string)) { emit(k, v) },
+		Reduce: func(cid string, values []string, emit func(k, v string)) {
+			var segment string
+			var orderIDs []string
+			for _, v := range values {
+				switch {
+				case strings.HasPrefix(v, "C|"):
+					segment = v[2:]
+				case strings.HasPrefix(v, "O|"):
+					orderIDs = append(orderIDs, v[2:])
+				}
+			}
+			if segment != "retail" {
+				return
+			}
+			for _, oid := range orderIDs {
+				emit(oid, segment)
+			}
+		},
+	}, joinInput)
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("join", time.Since(t3))
+	if len(joined) == 0 {
+		return fmt.Errorf("pavlo-mapreduce: empty join")
+	}
+	c.Add("records", int64(orders.NumRows()))
+	return nil
+}
+
+// URLCount is the Pavlo benchmark's "count URL links" task over generated
+// web logs: hits per product page, on the DBMS after a format conversion.
+type URLCount struct{}
+
+// Name implements workloads.Workload.
+func (URLCount) Name() string { return "url-count" }
+
+// Category implements workloads.Workload.
+func (URLCount) Category() workloads.Category { return workloads.Realtime }
+
+// Domain implements workloads.Workload.
+func (URLCount) Domain() string { return "relational queries" }
+
+// StackTypes implements workloads.Workload.
+func (URLCount) StackTypes() []stacks.Type {
+	return []stacks.Type{stacks.TypeDBMS, stacks.TypeMapReduce}
+}
+
+// Run implements workloads.Workload.
+func (URLCount) Run(p workloads.Params, c *metrics.Collector) error {
+	p = p.WithDefaults()
+	orders := ordersRows(p)
+	logs, err := weblog.Generator{}.FromTable(stats.NewRNG(p.Seed+2), orders, p.Scale*5000)
+	if err != nil {
+		return err
+	}
+
+	// DBMS side: convert logs to a table, GROUP BY path.
+	logTable := data.NewTable(data.Schema{Name: "hits", Cols: []data.Column{
+		{Name: "path", Kind: data.KindString},
+		{Name: "status", Kind: data.KindInt},
+	}})
+	for _, r := range logs {
+		if err := logTable.Append(data.Row{data.String_(r.Path), data.Int(int64(r.Status))}); err != nil {
+			return err
+		}
+	}
+	db := dbms.Open()
+	if err := db.Load(logTable); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	agg, err := db.Query("SELECT path, count(*) AS hits FROM hits WHERE status = 200 GROUP BY path ORDER BY hits DESC LIMIT 10")
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("dbms", time.Since(t0))
+	if agg.NumRows() == 0 {
+		return fmt.Errorf("url-count: empty aggregation")
+	}
+
+	// MapReduce side: same count as a job; top-1 must agree.
+	input := make([]mapreduce.KV, len(logs))
+	for i, r := range logs {
+		input[i] = mapreduce.KV{Key: strconv.Itoa(i), Value: fmt.Sprintf("%s %d", r.Path, r.Status)}
+	}
+	eng := mapreduce.New(p.Workers)
+	t1 := time.Now()
+	counts, _, err := eng.Run(mapreduce.Job{
+		Name: "mr-url-count",
+		Map: func(k, v string, emit func(k, v string)) {
+			parts := strings.Fields(v)
+			if len(parts) == 2 && parts[1] == "200" {
+				emit(parts[0], "1")
+			}
+		},
+		Reduce: func(path string, ones []string, emit func(k, v string)) {
+			emit(path, strconv.Itoa(len(ones)))
+		},
+	}, input)
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("mapreduce", time.Since(t1))
+
+	mrCounts := map[string]int64{}
+	for _, kv := range counts {
+		n, _ := strconv.ParseInt(kv.Value, 10, 64)
+		mrCounts[kv.Key] = n
+	}
+	topPath := agg.Rows[0][0].Str()
+	topHits := agg.Rows[0][1].Int()
+	if mrCounts[topPath] != topHits {
+		return fmt.Errorf("url-count: DBMS says %s=%d, MapReduce says %d", topPath, topHits, mrCounts[topPath])
+	}
+	c.Add("records", int64(len(logs)))
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package search implements the search-engine domain workloads of the
+// paper's survey (HiBench's Nutch indexing, BigDataBench's index and
+// PageRank): inverted-index construction on MapReduce and PageRank on the
+// BSP graph engine. Scale is thousands of documents (index) or the log2
+// vertex count minus 8 (pagerank), keeping laptop-size defaults.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/datagen/graphgen"
+	"github.com/bdbench/bdbench/internal/datagen/textgen"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/stacks/graphengine"
+	"github.com/bdbench/bdbench/internal/stacks/mapreduce"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// InvertedIndex builds word -> sorted doc-id postings with MapReduce, then
+// verifies lookups against a direct scan.
+type InvertedIndex struct{}
+
+// Name implements workloads.Workload.
+func (InvertedIndex) Name() string { return "inverted-index" }
+
+// Category implements workloads.Workload.
+func (InvertedIndex) Category() workloads.Category { return workloads.Realtime }
+
+// Domain implements workloads.Workload.
+func (InvertedIndex) Domain() string { return "search engine" }
+
+// StackTypes implements workloads.Workload.
+func (InvertedIndex) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
+
+// Run implements workloads.Workload.
+func (InvertedIndex) Run(p workloads.Params, c *metrics.Collector) error {
+	p = p.WithDefaults()
+	docs := textgen.ReferenceCorpus(p.Seed, p.Scale*1000, 40)
+	input := make([]mapreduce.KV, len(docs))
+	for i, d := range docs {
+		input[i] = mapreduce.KV{Key: strconv.Itoa(i), Value: strings.Join(d, " ")}
+	}
+	eng := mapreduce.New(p.Workers)
+	job := mapreduce.Job{
+		Name: "inverted-index",
+		Map: func(docID, text string, emit func(k, v string)) {
+			seen := map[string]bool{}
+			for _, w := range strings.Fields(text) {
+				if !seen[w] {
+					emit(w, docID)
+					seen[w] = true
+				}
+			}
+		},
+		Reduce: func(word string, docIDs []string, emit func(k, v string)) {
+			ids := append([]string(nil), docIDs...)
+			sort.Slice(ids, func(i, j int) bool {
+				a, _ := strconv.Atoi(ids[i])
+				b, _ := strconv.Atoi(ids[j])
+				return a < b
+			})
+			emit(word, strings.Join(ids, ","))
+		},
+	}
+	t0 := time.Now()
+	out, _, err := eng.Run(job, input)
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("build", time.Since(t0))
+	c.Add("records", int64(len(input)))
+	c.Add("terms", int64(len(out)))
+
+	// Verify a handful of postings against a direct scan.
+	index := make(map[string]string, len(out))
+	for _, kv := range out {
+		index[kv.Key] = kv.Value
+	}
+	g := stats.NewRNG(p.Seed + 7)
+	for probe := 0; probe < 5; probe++ {
+		doc := docs[g.IntN(len(docs))]
+		word := doc[g.IntN(len(doc))]
+		postings, ok := index[word]
+		if !ok {
+			return fmt.Errorf("inverted-index: word %q missing from index", word)
+		}
+		var want []string
+		for i, d := range docs {
+			for _, w := range d {
+				if w == word {
+					want = append(want, strconv.Itoa(i))
+					break
+				}
+			}
+		}
+		if got := strings.Split(postings, ","); len(got) != len(want) {
+			return fmt.Errorf("inverted-index: %q has %d postings, want %d", word, len(got), len(want))
+		}
+	}
+	return nil
+}
+
+// PageRank ranks an RMAT web graph on the BSP engine and checks rank-mass
+// conservation and hub dominance.
+type PageRank struct{}
+
+// Name implements workloads.Workload.
+func (PageRank) Name() string { return "pagerank" }
+
+// Category implements workloads.Workload.
+func (PageRank) Category() workloads.Category { return workloads.Offline }
+
+// Domain implements workloads.Workload.
+func (PageRank) Domain() string { return "search engine" }
+
+// StackTypes implements workloads.Workload.
+func (PageRank) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeGraph} }
+
+// Run implements workloads.Workload.
+func (PageRank) Run(p workloads.Params, c *metrics.Collector) error {
+	p = p.WithDefaults()
+	scale := 8 + p.Scale // 2^(8+scale) vertices
+	g := graphgen.DefaultRMAT.Generate(stats.NewRNG(p.Seed), scale)
+	eng := graphengine.New(p.Workers)
+	t0 := time.Now()
+	res, err := eng.Run(g, graphengine.PageRank{}, 20)
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("run", time.Since(t0))
+	c.Add("records", g.N)
+	c.Add("messages", res.MessagesSent)
+	c.Add("supersteps", int64(res.Supersteps))
+
+	// Ranks are positive and the top-degree vertex outranks the median.
+	var total float64
+	for _, v := range res.Values {
+		if v < 0 {
+			return fmt.Errorf("pagerank: negative rank %v", v)
+		}
+		total += v
+	}
+	if total <= 0 {
+		return fmt.Errorf("pagerank: zero total rank")
+	}
+	hub := g.TopDegreeVertices(1)[0]
+	// In-degree drives rank; compare hub (by in-degree) to median rank.
+	in := g.InDegrees()
+	bestIn, bestV := -1, int64(0)
+	for v, d := range in {
+		if d > bestIn {
+			bestIn, bestV = d, int64(v)
+		}
+	}
+	_ = hub
+	ranks := append([]float64(nil), res.Values...)
+	sort.Float64s(ranks)
+	median := ranks[len(ranks)/2]
+	if res.Values[bestV] <= median {
+		return fmt.Errorf("pagerank: top in-degree vertex rank %.4f not above median %.4f", res.Values[bestV], median)
+	}
+	return nil
+}

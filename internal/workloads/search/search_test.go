@@ -1,0 +1,40 @@
+package search
+
+import (
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+func TestInvertedIndex(t *testing.T) {
+	c := metrics.NewCollector("ii")
+	if err := (InvertedIndex{}).Run(workloads.Params{Seed: 1, Scale: 1, Workers: 4}, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counter("terms") == 0 {
+		t.Fatal("no terms indexed")
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	c := metrics.NewCollector("pr")
+	if err := (PageRank{}).Run(workloads.Params{Seed: 2, Scale: 1, Workers: 4}, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counter("messages") == 0 || c.Counter("supersteps") == 0 {
+		t.Fatal("graph counters missing")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	if (InvertedIndex{}).Domain() != "search engine" || (PageRank{}).Domain() != "search engine" {
+		t.Fatal("domain wrong")
+	}
+	if (InvertedIndex{}).Category() != workloads.Realtime {
+		t.Fatal("indexing should be the real-time analytics row (Nutch indexing in HiBench)")
+	}
+	if (PageRank{}).Category() != workloads.Offline {
+		t.Fatal("pagerank should be offline analytics")
+	}
+}

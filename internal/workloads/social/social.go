@@ -1,0 +1,242 @@
+// Package social implements the social-network domain workloads of the
+// paper's survey: k-means clustering (as iterated MapReduce jobs, the way
+// HiBench/BigDataBench run it on Hadoop) and connected components on the
+// BSP graph engine.
+package social
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/datagen/graphgen"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/stacks/graphengine"
+	"github.com/bdbench/bdbench/internal/stacks/mapreduce"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// Point is a 2-D feature vector (user embedding).
+type Point struct{ X, Y float64 }
+
+func (p Point) encode() string {
+	return strconv.FormatFloat(p.X, 'g', -1, 64) + "," + strconv.FormatFloat(p.Y, 'g', -1, 64)
+}
+
+func decodePoint(s string) (Point, error) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return Point{}, fmt.Errorf("social: bad point %q", s)
+	}
+	x, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return Point{}, err
+	}
+	y, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{x, y}, nil
+}
+
+func dist2(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// GenerateClusters produces n points around k well-separated centers plus
+// the true centers, the standard synthetic clustering input.
+func GenerateClusters(g *stats.RNG, n, k int) ([]Point, []Point) {
+	centers := make([]Point, k)
+	for i := range centers {
+		centers[i] = Point{X: float64(i%4) * 20, Y: float64(i/4) * 20}
+	}
+	points := make([]Point, n)
+	for i := range points {
+		c := centers[g.IntN(k)]
+		points[i] = Point{X: c.X + g.NormFloat64(), Y: c.Y + g.NormFloat64()}
+	}
+	return points, centers
+}
+
+// KMeans clusters points with Lloyd's algorithm, each iteration a
+// MapReduce job: map assigns points to the nearest centroid, reduce
+// averages each cluster.
+type KMeans struct {
+	// K defaults to 4, Iterations to 8.
+	K, Iterations int
+}
+
+// Name implements workloads.Workload.
+func (KMeans) Name() string { return "kmeans" }
+
+// Category implements workloads.Workload.
+func (KMeans) Category() workloads.Category { return workloads.Offline }
+
+// Domain implements workloads.Workload.
+func (KMeans) Domain() string { return "social network" }
+
+// StackTypes implements workloads.Workload.
+func (KMeans) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
+
+// Run implements workloads.Workload.
+func (w KMeans) Run(p workloads.Params, c *metrics.Collector) error {
+	p = p.WithDefaults()
+	k := w.K
+	if k <= 0 {
+		k = 4
+	}
+	iters := w.Iterations
+	if iters <= 0 {
+		iters = 8
+	}
+	g := stats.NewRNG(p.Seed)
+	points, trueCenters := GenerateClusters(g, p.Scale*1000, k)
+	input := make([]mapreduce.KV, len(points))
+	for i, pt := range points {
+		input[i] = mapreduce.KV{Key: strconv.Itoa(i), Value: pt.encode()}
+	}
+	// k-means++ initialization: the first centroid is uniform, each next
+	// one is drawn with probability proportional to squared distance to
+	// its nearest existing centroid — reliable separation on the planted
+	// clusters regardless of seed.
+	centroids := make([]Point, 0, k)
+	centroids = append(centroids, points[g.IntN(len(points))])
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, pt := range points {
+			best := math.Inf(1)
+			for _, cent := range centroids {
+				if d := dist2(pt, cent); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		pick := g.Float64() * total
+		idx := 0
+		for acc := d2[0]; pick > acc && idx < len(points)-1; {
+			idx++
+			acc += d2[idx]
+		}
+		centroids = append(centroids, points[idx])
+	}
+	eng := mapreduce.New(p.Workers)
+	t0 := time.Now()
+	for it := 0; it < iters; it++ {
+		cs := append([]Point(nil), centroids...) // capture for the mapper
+		job := mapreduce.Job{
+			Name: "kmeans-iter",
+			Map: func(_, value string, emit func(k, v string)) {
+				pt, err := decodePoint(value)
+				if err != nil {
+					return
+				}
+				best, bestD := 0, math.Inf(1)
+				for ci, cent := range cs {
+					if d := dist2(pt, cent); d < bestD {
+						best, bestD = ci, d
+					}
+				}
+				emit(strconv.Itoa(best), value)
+			},
+			Reduce: func(key string, values []string, emit func(k, v string)) {
+				var sx, sy float64
+				for _, v := range values {
+					pt, err := decodePoint(v)
+					if err != nil {
+						continue
+					}
+					sx += pt.X
+					sy += pt.Y
+				}
+				n := float64(len(values))
+				emit(key, Point{X: sx / n, Y: sy / n}.encode())
+			},
+		}
+		out, _, err := eng.Run(job, input)
+		if err != nil {
+			return err
+		}
+		for _, kv := range out {
+			ci, err := strconv.Atoi(kv.Key)
+			if err != nil || ci < 0 || ci >= k {
+				return fmt.Errorf("kmeans: bad centroid id %q", kv.Key)
+			}
+			pt, err := decodePoint(kv.Value)
+			if err != nil {
+				return err
+			}
+			centroids[ci] = pt
+		}
+	}
+	c.ObserveLatency("cluster", time.Since(t0))
+	c.Add("records", int64(len(points)))
+	c.Add("iterations", int64(iters))
+
+	// Verify: every true center has a learned centroid within 3 units
+	// (clusters are separated by 20).
+	for _, tc := range trueCenters {
+		found := false
+		for _, lc := range centroids {
+			if math.Sqrt(dist2(tc, lc)) < 3 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("kmeans: no centroid recovered near true center %+v (got %+v)", tc, centroids)
+		}
+	}
+	return nil
+}
+
+// ConnectedComponents labels a Barabási–Albert social graph on the BSP
+// engine and verifies against union-find.
+type ConnectedComponents struct{}
+
+// Name implements workloads.Workload.
+func (ConnectedComponents) Name() string { return "connected-components" }
+
+// Category implements workloads.Workload.
+func (ConnectedComponents) Category() workloads.Category { return workloads.Offline }
+
+// Domain implements workloads.Workload.
+func (ConnectedComponents) Domain() string { return "social network" }
+
+// StackTypes implements workloads.Workload.
+func (ConnectedComponents) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeGraph} }
+
+// Run implements workloads.Workload.
+func (ConnectedComponents) Run(p workloads.Params, c *metrics.Collector) error {
+	p = p.WithDefaults()
+	scale := 8 + p.Scale
+	g := graphgen.BarabasiAlbert{M: 2}.Generate(stats.NewRNG(p.Seed), scale)
+	und := graphengine.Undirected(g)
+	eng := graphengine.New(p.Workers)
+	t0 := time.Now()
+	res, err := eng.Run(und, graphengine.ConnectedComponents{}, 200)
+	if err != nil {
+		return err
+	}
+	c.ObserveLatency("run", time.Since(t0))
+	c.Add("records", und.N)
+	c.Add("messages", res.MessagesSent)
+
+	labels := map[float64]bool{}
+	for _, v := range res.Values {
+		labels[v] = true
+	}
+	wantCount, _ := und.ConnectedComponents()
+	if len(labels) != wantCount {
+		return fmt.Errorf("connected-components: engine found %d components, union-find %d", len(labels), wantCount)
+	}
+	c.Add("components", int64(len(labels)))
+	return nil
+}

@@ -1,0 +1,89 @@
+package social
+
+import (
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+func TestKMeansRecoversCenters(t *testing.T) {
+	c := metrics.NewCollector("kmeans")
+	if err := (KMeans{}).Run(workloads.Params{Seed: 3, Scale: 1, Workers: 4}, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counter("iterations") != 8 {
+		t.Fatalf("iterations %d", c.Counter("iterations"))
+	}
+}
+
+func TestKMeansCustomK(t *testing.T) {
+	c := metrics.NewCollector("kmeans")
+	if err := (KMeans{K: 3, Iterations: 6}).Run(workloads.Params{Seed: 4, Scale: 1, Workers: 2}, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansRobustAcrossSeeds(t *testing.T) {
+	// k-means++ initialization must recover the planted centers for any
+	// seed, not just lucky ones.
+	for seed := uint64(0); seed < 6; seed++ {
+		c := metrics.NewCollector("kmeans")
+		if err := (KMeans{}).Run(workloads.Params{Seed: seed, Scale: 1, Workers: 4}, c); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	c := metrics.NewCollector("cc")
+	if err := (ConnectedComponents{}).Run(workloads.Params{Seed: 5, Scale: 1, Workers: 4}, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counter("components") < 1 {
+		t.Fatal("no components found")
+	}
+}
+
+func TestGenerateClustersShape(t *testing.T) {
+	g := stats.NewRNG(1)
+	pts, centers := GenerateClusters(g, 1000, 4)
+	if len(pts) != 1000 || len(centers) != 4 {
+		t.Fatalf("shape %d/%d", len(pts), len(centers))
+	}
+	// Centers are distinct.
+	for i := range centers {
+		for j := i + 1; j < len(centers); j++ {
+			if centers[i] == centers[j] {
+				t.Fatal("duplicate centers")
+			}
+		}
+	}
+}
+
+func TestPointCodec(t *testing.T) {
+	p := Point{X: 1.5, Y: -2.25}
+	got, err := decodePoint(p.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip %v", got)
+	}
+	if _, err := decodePoint("bad"); err == nil {
+		t.Fatal("bad point accepted")
+	}
+	if _, err := decodePoint("x,1"); err == nil {
+		t.Fatal("bad x accepted")
+	}
+	if _, err := decodePoint("1,y"); err == nil {
+		t.Fatal("bad y accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	if (KMeans{}).Domain() != "social network" || (ConnectedComponents{}).Domain() != "social network" {
+		t.Fatal("domain wrong")
+	}
+}

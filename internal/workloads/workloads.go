@@ -1,0 +1,75 @@
+// Package workloads defines the common workload contract used across
+// bdbench's benchmark suites, mirroring §4.2 of "On Big Data Benchmarking":
+// every workload belongs to one of three user-facing categories (online
+// services, offline analytics, real-time analytics), one application domain
+// (micro, search engine, social network, e-commerce, OLTP, relational
+// queries, streaming) and runs on one or more software-stack types.
+//
+// Concrete workloads live in subpackages: micro, search, social, commerce,
+// oltp, relational and streamwl.
+package workloads
+
+import (
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+)
+
+// Category is the paper's three-way user-perspective classification.
+type Category string
+
+// The workload categories of Table 2.
+const (
+	Online   Category = "online services"
+	Offline  Category = "offline analytics"
+	Realtime Category = "real-time analytics"
+)
+
+// Params controls a workload execution. Scale is a workload-specific size
+// knob (records, documents, vertices — see each workload's docs); Workers
+// is the parallelism of the underlying stack.
+type Params struct {
+	Seed    uint64
+	Scale   int
+	Workers int
+}
+
+// WithDefaults fills zero fields: Scale 1, Workers 4.
+func (p Params) WithDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	if p.Workers <= 0 {
+		p.Workers = 4
+	}
+	return p
+}
+
+// Workload is one runnable benchmark workload. Run must generate (or accept
+// pre-staged) input at the requested scale, execute on its stack, verify
+// the result's correctness invariants, and record latencies/counters into
+// the collector. Run implementations return errors for both execution
+// failures and verification failures.
+type Workload interface {
+	Name() string
+	Category() Category
+	Domain() string
+	StackTypes() []stacks.Type
+	Run(p Params, c *metrics.Collector) error
+}
+
+// Info is a static description used by the Table 2 reproduction.
+type Info struct {
+	Name     string
+	Category Category
+	Domain   string
+	Stacks   []stacks.Type
+}
+
+// DescribeAll extracts Info rows from workloads.
+func DescribeAll(ws []Workload) []Info {
+	out := make([]Info, len(ws))
+	for i, w := range ws {
+		out[i] = Info{Name: w.Name(), Category: w.Category(), Domain: w.Domain(), Stacks: w.StackTypes()}
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package workloads
+
+import "testing"
+
+func TestParamsWithDefaults(t *testing.T) {
+	p := Params{}.WithDefaults()
+	if p.Scale != 1 || p.Workers != 4 {
+		t.Fatalf("defaults %+v", p)
+	}
+	p = Params{Scale: 3, Workers: 2, Seed: 9}.WithDefaults()
+	if p.Scale != 3 || p.Workers != 2 || p.Seed != 9 {
+		t.Fatalf("explicit values clobbered: %+v", p)
+	}
+}
+
+func TestCategoryValues(t *testing.T) {
+	for _, c := range []Category{Online, Offline, Realtime} {
+		if c == "" {
+			t.Fatal("empty category constant")
+		}
+	}
+}
