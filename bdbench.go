@@ -20,6 +20,10 @@
 //   - internal/suites        executable emulations of the ten surveyed
 //     benchmark suites, from which Tables 1 and 2 are re-derived by
 //     measurement;
+//   - internal/engine        the concurrent execution layer: a bounded
+//     worker pool with warmup/repetition control, per-run deadlines, panic
+//     isolation and streaming progress events — seed-deterministic at any
+//     parallelism;
 //   - internal/core          the five-step benchmarking process of Figure 1
 //     and the layered architecture of Figure 2.
 //

@@ -6,6 +6,7 @@
 package bdbench_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -18,6 +19,7 @@ import (
 	"github.com/bdbench/bdbench/internal/datagen/tablegen"
 	"github.com/bdbench/bdbench/internal/datagen/textgen"
 	"github.com/bdbench/bdbench/internal/datagen/veracity"
+	"github.com/bdbench/bdbench/internal/engine"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks/dbms"
 	"github.com/bdbench/bdbench/internal/stacks/graphengine"
@@ -63,6 +65,34 @@ func BenchmarkTable2Workloads(b *testing.B) {
 				b.Fatal(r.Err)
 			}
 		}
+	}
+}
+
+// BenchmarkSuiteEngineParallelism compares sequential execution (one
+// engine worker) against the concurrent engine at full parallelism on one
+// suite inventory — the speedup the execution layer buys. Results are
+// seed-identical in both modes.
+func BenchmarkSuiteEngineParallelism(b *testing.B) {
+	suite, _ := suites.ByName("CloudSuite")
+	p := workloads.Params{Seed: 1, Scale: 1, Workers: 2}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{fmt.Sprintf("engine-%dworkers", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := suites.RunSuiteEngine(context.Background(), suite, p, engine.Config{Workers: mode.workers})
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(suite.Workloads())*b.N)/b.Elapsed().Seconds(), "workloads/s")
+		})
 	}
 }
 
@@ -238,7 +268,7 @@ func BenchmarkYCSBWorkloads(b *testing.B) {
 		b.Run(w.Label, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c := metrics.NewCollector(w.Name())
-				if err := w.Run(workloads.Params{Seed: 6, Scale: 1, Workers: 4}, c); err != nil {
+				if err := w.Run(context.Background(), workloads.Params{Seed: 6, Scale: 1, Workers: 4}, c); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -254,7 +284,7 @@ func BenchmarkPavloComparison(b *testing.B) {
 	b.Run("dbms", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			c := metrics.NewCollector("dbms")
-			if err := (relational.LoadSelectAggregateJoin{}).Run(workloads.Params{Seed: 7, Scale: 1, Workers: 4}, c); err != nil {
+			if err := (relational.LoadSelectAggregateJoin{}).Run(context.Background(), workloads.Params{Seed: 7, Scale: 1, Workers: 4}, c); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -262,7 +292,7 @@ func BenchmarkPavloComparison(b *testing.B) {
 	b.Run("mapreduce", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			c := metrics.NewCollector("mr")
-			if err := (relational.MapReduceEquivalents{}).Run(workloads.Params{Seed: 7, Scale: 1, Workers: 4}, c); err != nil {
+			if err := (relational.MapReduceEquivalents{}).Run(context.Background(), workloads.Params{Seed: 7, Scale: 1, Workers: 4}, c); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -286,7 +316,7 @@ func BenchmarkWorkloadCategories(b *testing.B) {
 		b.Run(rep.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c := metrics.NewCollector(rep.name)
-				if err := rep.w.Run(workloads.Params{Seed: 8, Scale: 1, Workers: 4}, c); err != nil {
+				if err := rep.w.Run(context.Background(), workloads.Params{Seed: 8, Scale: 1, Workers: 4}, c); err != nil {
 					b.Fatal(err)
 				}
 			}

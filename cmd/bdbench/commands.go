@@ -1,17 +1,72 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
 	"github.com/bdbench/bdbench/internal/core"
+	"github.com/bdbench/bdbench/internal/engine"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/report"
 	"github.com/bdbench/bdbench/internal/suites"
 	"github.com/bdbench/bdbench/internal/testgen"
 	"github.com/bdbench/bdbench/internal/workloads"
 )
+
+// engineOpts holds the execution-engine knobs shared by the commands that
+// run workload inventories.
+type engineOpts struct {
+	workers  *int
+	reps     *int
+	warmup   *int
+	timeout  *time.Duration
+	progress *bool
+}
+
+func addEngineFlags(fs *flag.FlagSet) engineOpts {
+	return engineOpts{
+		workers:  fs.Int("workers", 0, "concurrent workloads in the engine pool (0 = one per CPU)"),
+		reps:     fs.Int("reps", 1, "measured repetitions per workload (median reported)"),
+		warmup:   fs.Int("warmup", 0, "unmeasured warmup runs per workload"),
+		timeout:  fs.Duration("timeout", 0, "per-run deadline, e.g. 30s (0 = none)"),
+		progress: fs.Bool("progress", false, "stream per-repetition progress to stderr"),
+	}
+}
+
+func (o engineOpts) config() engine.Config {
+	cfg := engine.Config{Workers: *o.workers, Reps: *o.reps, Warmup: *o.warmup, Timeout: *o.timeout}
+	if *o.progress {
+		cfg.OnEvent = printEvent
+	}
+	return cfg
+}
+
+// printEvent renders one engine progress event; the engine serializes
+// calls, so plain writes are safe.
+func printEvent(e engine.Event) {
+	switch e.Kind {
+	case engine.EventTaskStart:
+		fmt.Fprintf(os.Stderr, "engine: %-24s start\n", e.Workload)
+	case engine.EventRepDone:
+		label := fmt.Sprintf("rep %d", e.Rep+1)
+		if e.Warmup {
+			label = "warmup"
+		}
+		status := "ok"
+		if e.Err != nil {
+			status = e.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "engine: %-24s %-8s %-12v %s\n",
+			e.Workload, label, e.Elapsed.Round(time.Millisecond), status)
+	case engine.EventTaskDone:
+		fmt.Fprintf(os.Stderr, "engine: %-24s done in %v\n",
+			e.Workload, e.Elapsed.Round(time.Millisecond))
+	}
+}
 
 func cmdTable1(args []string) error {
 	fs := newFlagSet("table1")
@@ -68,19 +123,24 @@ func cmdFigure1(args []string) error {
 	fs := newFlagSet("figure1")
 	suite := fs.String("suite", "GridMix", "suite to run through the process")
 	scale := fs.Int("scale", 1, "workload scale")
-	workers := fs.Int("workers", 4, "stack parallelism")
+	stackWorkers := fs.Int("stack-workers", 4, "per-workload stack parallelism")
+	eng := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fmt.Println("Figure 1 — benchmarking process for big data systems")
 	out, err := core.Run(core.Plan{
-		Object:  "figure1 demonstration",
-		Suite:   *suite,
-		Scale:   *scale,
-		Workers: *workers,
-		Seed:    1,
-		Energy:  metrics.DefaultEnergyModel,
-		Cost:    metrics.DefaultCostModel,
+		Object:   "figure1 demonstration",
+		Suite:    *suite,
+		Scale:    *scale,
+		Workers:  *stackWorkers,
+		Seed:     1,
+		Parallel: *eng.workers,
+		Reps:     *eng.reps,
+		Warmup:   *eng.warmup,
+		Timeout:  *eng.timeout,
+		Energy:   metrics.DefaultEnergyModel,
+		Cost:     metrics.DefaultCostModel,
 	})
 	if err != nil {
 		return err
@@ -174,9 +234,10 @@ func cmdRun(args []string) error {
 	fs := newFlagSet("run")
 	suiteName := fs.String("suite", "BigDataBench", "suite to run")
 	scale := fs.Int("scale", 1, "workload scale")
-	workers := fs.Int("workers", 4, "stack parallelism")
+	stackWorkers := fs.Int("stack-workers", 4, "per-workload stack parallelism")
 	seed := fs.Uint64("seed", 42, "workload seed")
 	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	eng := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -184,7 +245,8 @@ func cmdRun(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown suite %q (try 'bdbench suites')", *suiteName)
 	}
-	results := suites.RunSuite(suite, workloads.Params{Seed: *seed, Scale: *scale, Workers: *workers})
+	results := suites.RunSuiteEngine(context.Background(), suite,
+		workloads.Params{Seed: *seed, Scale: *scale, Workers: *stackWorkers}, eng.config())
 	if *asJSON {
 		out, err := report.JSON(results)
 		if err != nil {
@@ -201,14 +263,21 @@ func cmdRun(args []string) error {
 			status = "FAIL: " + r.Err.Error()
 			failures++
 		}
+		// The ops/s cell is always the median repetition (matching elapsed);
+		// with several reps the spread across them is shown alongside.
+		tput := fmt.Sprintf("%.0f", r.Result.Throughput)
+		if len(r.Reps) > 1 {
+			tput = fmt.Sprintf("%.0f ±%.0f", r.Result.Throughput, r.Throughput.StdDev)
+		}
 		rows = append(rows, []string{
 			r.Workload, string(r.Category),
 			r.Result.Elapsed.Round(time.Millisecond).String(),
-			fmt.Sprintf("%.0f", r.Result.Throughput),
+			tput,
+			fmt.Sprintf("%d", len(r.Reps)),
 			status,
 		})
 	}
-	fmt.Print(report.Table([]string{"workload", "category", "elapsed", "ops/s", "status"}, rows))
+	fmt.Print(report.Table([]string{"workload", "category", "elapsed", "ops/s", "reps", "status"}, rows))
 	if failures > 0 {
 		return fmt.Errorf("%d workload(s) failed", failures)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"github.com/bdbench/bdbench/internal/datagen/streamgen"
 	"github.com/bdbench/bdbench/internal/datagen/tablegen"
 	"github.com/bdbench/bdbench/internal/datagen/veracity"
+	"github.com/bdbench/bdbench/internal/engine"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/report"
 	"github.com/bdbench/bdbench/internal/stats"
@@ -133,7 +135,7 @@ func expYCSBProfile(scale int) error {
 	for _, w := range oltp.All() {
 		c := metrics.NewCollector(w.Name())
 		t0 := time.Now()
-		if err := w.Run(workloads.Params{Seed: 6, Scale: scale, Workers: 4}, c); err != nil {
+		if err := w.Run(context.Background(), workloads.Params{Seed: 6, Scale: scale, Workers: 4}, c); err != nil {
 			return err
 		}
 		c.SetElapsed(time.Since(t0))
@@ -149,7 +151,7 @@ func expPavloComparison(scale int) error {
 	run := func(w workloads.Workload) (metrics.Result, error) {
 		c := metrics.NewCollector(w.Name())
 		t0 := time.Now()
-		err := w.Run(workloads.Params{Seed: 7, Scale: scale, Workers: 4}, c)
+		err := w.Run(context.Background(), workloads.Params{Seed: 7, Scale: scale, Workers: 4}, c)
 		c.SetElapsed(time.Since(t0))
 		return c.Snapshot(), err
 	}
@@ -181,7 +183,10 @@ func expPavloComparison(scale int) error {
 func expWorkloadCategories(scale int) error {
 	fmt.Println("E13 — workload category profiles (BigDataBench inventory)")
 	suite, _ := suites.ByName("BigDataBench")
-	results := suites.RunSuite(suite, workloads.Params{Seed: 8, Scale: scale, Workers: 4})
+	// One engine worker: E13 compares per-workload throughput, so workloads
+	// must not contend with each other for CPU while being measured.
+	results := suites.RunSuiteEngine(context.Background(), suite,
+		workloads.Params{Seed: 8, Scale: scale, Workers: 4}, engine.Config{Workers: 1})
 	perCat := map[workloads.Category][]float64{}
 	for _, r := range results {
 		if r.Err != nil {

@@ -71,10 +71,21 @@ commands:
   figure2         print the 3-layer architecture
   figure3         run the 4-step data generation process (text and table)
   figure4         run the 5-step test generation process + portability check
-  run             execute one suite's workloads (-suite, -scale, -workers)
+  run             execute one suite's workloads on the concurrent engine
   suites          list the emulated benchmark suites
   prescriptions   list the reusable prescription repository
   experiments     run the quantitative experiment set (velocity, veracity, ...)
+
+engine knobs (run, figure1):
+  -workers N        concurrent workloads in the engine pool (0 = one per CPU)
+  -reps N           measured repetitions per workload; the median is reported
+  -warmup N         unmeasured warmup runs per workload
+  -timeout D        per-run deadline (e.g. 30s); overrunning runs are cancelled
+  -stack-workers N  parallelism of the simulated stack inside each workload
+  -progress         stream per-repetition progress to stderr (run only)
+
+Workload outputs (counters, verification) are seed-deterministic at any
+-workers setting; only timings vary with parallelism.
 `)
 }
 

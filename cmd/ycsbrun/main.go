@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +45,7 @@ func main() {
 	for _, w := range selected {
 		c := metrics.NewCollector(w.Name())
 		t0 := time.Now()
-		if err := w.Run(workloads.Params{Seed: *seed, Scale: *scale, Workers: *workers}, c); err != nil {
+		if err := w.Run(context.Background(), workloads.Params{Seed: *seed, Scale: *scale, Workers: *workers}, c); err != nil {
 			fmt.Fprintln(os.Stderr, "ycsbrun:", err)
 			os.Exit(1)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,7 +23,7 @@ func main() {
 	for _, w := range []oltp.CoreWorkload{oltp.WorkloadA, oltp.WorkloadB} {
 		c := metrics.NewCollector(w.Name())
 		t0 := time.Now()
-		if err := w.Run(workloads.Params{Seed: 21, Scale: 1, Workers: 8}, c); err != nil {
+		if err := w.Run(context.Background(), workloads.Params{Seed: 21, Scale: 1, Workers: 8}, c); err != nil {
 			log.Fatal(err)
 		}
 		c.SetElapsed(time.Since(t0))

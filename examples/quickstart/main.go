@@ -21,8 +21,16 @@ func main() {
 		Scale:   1,
 		Workers: 4,
 		Seed:    2014,
-		Energy:  metrics.DefaultEnergyModel,
-		Cost:    metrics.DefaultCostModel,
+		// Execution-engine settings: run workloads concurrently, take the
+		// median of 3 repetitions after 1 warmup, cap each run at a minute.
+		// The seed makes workload outputs identical at any Parallel
+		// setting; only timings vary.
+		Parallel: 4,
+		Reps:     3,
+		Warmup:   1,
+		Timeout:  time.Minute,
+		Energy:   metrics.DefaultEnergyModel,
+		Cost:     metrics.DefaultCostModel,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -33,10 +41,11 @@ func main() {
 		fmt.Printf("  %-24s %-50s %v\n", s.Step, s.Detail, s.Duration.Round(time.Millisecond))
 	}
 
-	fmt.Println("\nresults:")
+	fmt.Println("\nresults (median of 3 repetitions):")
 	for _, r := range out.Results {
-		fmt.Printf("  %-12s %-18s %10.0f ops/s  %8.1f J  $%.6f\n",
+		fmt.Printf("  %-12s %-18s %10.0f ops/s (±%.0f over %d reps)  %8.1f J  $%.6f\n",
 			r.Workload, r.Category, r.Result.Throughput,
+			r.Throughput.StdDev, len(r.Reps),
 			r.Result.EnergyJoules, r.Result.CostUSD)
 	}
 	fmt.Printf("\ndata veracity level of this suite's generators: %s\n", out.VeracityLevel())

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -42,7 +43,7 @@ func main() {
 
 	// 3. User clustering: the k-means workload (iterated MapReduce).
 	c := metrics.NewCollector("kmeans")
-	if err := (social.KMeans{K: 4, Iterations: 8}).Run(workloads.Params{Seed: 12, Scale: 2, Workers: 8}, c); err != nil {
+	if err := (social.KMeans{K: 4, Iterations: 8}).Run(context.Background(), workloads.Params{Seed: 12, Scale: 2, Workers: 8}, c); err != nil {
 		log.Fatal(err)
 	}
 	c.SetElapsed(time.Second)

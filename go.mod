@@ -1,0 +1,3 @@
+module github.com/bdbench/bdbench
+
+go 1.24

@@ -1,8 +1,10 @@
 package bdbench_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	bdbench "github.com/bdbench/bdbench"
 	"github.com/bdbench/bdbench/internal/core"
@@ -98,12 +100,56 @@ func TestAllSuitesExecutableSmoke(t *testing.T) {
 						return
 					}
 					c := metrics.NewCollector(w.Name())
-					if err := w.Run(workloads.Params{Seed: 55, Scale: 1, Workers: 2}, c); err != nil {
+					if err := w.Run(context.Background(), workloads.Params{Seed: 55, Scale: 1, Workers: 2}, c); err != nil {
 						t.Fatalf("%s/%s: %v", s.Name, w.Name(), err)
 					}
 					ran++
 				}
 			}
 		})
+	}
+}
+
+// TestConcurrentEngineEndToEnd runs the five-step process through the
+// concurrent execution engine with repetitions and a deadline, and checks
+// the per-repetition results agree with a sequential single-rep run of the
+// same plan (seeded determinism across scheduling).
+func TestConcurrentEngineEndToEnd(t *testing.T) {
+	plan := core.Plan{
+		Object:   "engine integration",
+		Suite:    "GridMix",
+		Scale:    1,
+		Workers:  2,
+		Seed:     123,
+		Parallel: 8,
+		Reps:     2,
+		Timeout:  2 * time.Minute,
+	}
+	concurrent, err := core.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Parallel, plan.Reps = 1, 1
+	sequential, err := core.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(concurrent.Results) != len(sequential.Results) {
+		t.Fatalf("result counts %d vs %d", len(concurrent.Results), len(sequential.Results))
+	}
+	for i := range concurrent.Results {
+		cr, sr := concurrent.Results[i], sequential.Results[i]
+		if cr.Workload != sr.Workload {
+			t.Fatalf("order differs at %d: %s vs %s", i, cr.Workload, sr.Workload)
+		}
+		if len(cr.Reps) != 2 {
+			t.Fatalf("%s: reps %d, want 2", cr.Workload, len(cr.Reps))
+		}
+		for k, v := range sr.Result.Counters {
+			if cr.Result.Counters[k] != v {
+				t.Fatalf("%s: counter %s differs between engine and sequential run: %d vs %d",
+					cr.Workload, k, cr.Result.Counters[k], v)
+			}
+		}
 	}
 }

@@ -6,10 +6,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/bdbench/bdbench/internal/datagen/veracity"
+	"github.com/bdbench/bdbench/internal/engine"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/suites"
 	"github.com/bdbench/bdbench/internal/testgen"
@@ -24,10 +26,23 @@ type Plan struct {
 	Object string
 	// Suite selects the workload inventory (a suites.All() name).
 	Suite string
-	// Scale and Workers size the run.
+	// Scale and Workers size the run: Scale is the per-workload input size
+	// knob, Workers the parallelism of the simulated stack each workload
+	// runs on.
 	Scale   int
 	Workers int
 	Seed    uint64
+	// Parallel bounds how many workloads the execution engine runs
+	// concurrently (0 = one per CPU). Results are seed-deterministic at any
+	// setting.
+	Parallel int
+	// Reps is the number of measured repetitions per workload (0 = 1); the
+	// reported result is the median-throughput repetition. Warmup runs are
+	// executed and discarded first.
+	Reps   int
+	Warmup int
+	// Timeout bounds each individual workload run; zero disables it.
+	Timeout time.Duration
 	// Energy and Cost models annotate results (§3.1's non-performance
 	// metrics). Zero values disable them.
 	Energy metrics.EnergyModel
@@ -45,7 +60,15 @@ func (p Plan) Validate() error {
 	if p.Scale < 0 || p.Workers < 0 {
 		return fmt.Errorf("core: negative scale or workers")
 	}
+	if p.Parallel < 0 || p.Reps < 0 || p.Warmup < 0 || p.Timeout < 0 {
+		return fmt.Errorf("core: negative engine settings")
+	}
 	return nil
+}
+
+// EngineConfig derives the execution-engine settings from the plan.
+func (p Plan) EngineConfig() engine.Config {
+	return engine.Config{Workers: p.Parallel, Reps: p.Reps, Warmup: p.Warmup, Timeout: p.Timeout}
 }
 
 // Step names the five steps of Figure 1.
@@ -69,17 +92,30 @@ type StepTrace struct {
 
 // Outcome is the full result of one benchmarking process run.
 type Outcome struct {
-	Plan    Plan
-	Steps   []StepTrace
+	Plan  Plan
+	Steps []StepTrace
+	// Results carries one entry per workload, each with its representative
+	// (median) result and every measured repetition.
 	Results []suites.SuiteRunResult
 	// Summary is the Analysis step's digest: per-category mean throughput.
 	Summary map[workloads.Category]float64
 	// Veracity carries the data-generation step's §5.1 measurements.
 	Veracity []suites.SourceVeracity
+	// Volume and VolumeEvidence carry the data-generation step's scaling
+	// probe (the Table 1 volume cell for this suite).
+	Volume         suites.VolumeClass
+	VolumeEvidence []suites.VolumeEvidence
 }
 
 // Run executes the five-step benchmarking process for the plan.
 func Run(plan Plan) (*Outcome, error) {
+	return RunContext(context.Background(), plan)
+}
+
+// RunContext executes the five-step benchmarking process for the plan.
+// Cancelling ctx aborts in-flight workload executions; their results report
+// the context error.
+func RunContext(ctx context.Context, plan Plan) (*Outcome, error) {
 	out := &Outcome{Plan: plan}
 	record := func(s Step, detail string, t0 time.Time) {
 		out.Steps = append(out.Steps, StepTrace{Step: s, Detail: detail, Duration: time.Since(t0)})
@@ -95,9 +131,14 @@ func Run(plan Plan) (*Outcome, error) {
 
 	// Step 2: Data generation — probe the suite's generators (volume and
 	// veracity evidence); workloads regenerate their own inputs at run
-	// time from the same seeds.
+	// time from the same seeds. A cancelled context aborts before the
+	// (potentially expensive) probes run.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	t1 := time.Now()
-	volume, _ := suites.ProbeVolume(suite)
+	volume, volumeEvidence := suites.ProbeVolume(suite)
+	out.Volume, out.VolumeEvidence = volume, volumeEvidence
 	level, details, err := suites.ProbeVeracity(suite, plan.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: data generation: %w", err)
@@ -114,11 +155,19 @@ func Run(plan Plan) (*Outcome, error) {
 	}
 	record(StepTestGeneration, fmt.Sprintf("%d workloads across %d categories", len(inventory), len(suite.Rows)), t2)
 
-	// Step 4: Execution.
+	// Step 4: Execution — the concurrent engine schedules the inventory
+	// onto a bounded worker pool with the plan's repetition and deadline
+	// settings.
 	t3 := time.Now()
 	params := workloads.Params{Seed: plan.Seed, Scale: plan.Scale, Workers: plan.Workers}.WithDefaults()
-	out.Results = suites.RunSuite(suite, params)
-	record(StepExecution, fmt.Sprintf("%d workloads executed", len(out.Results)), t3)
+	cfg := plan.EngineConfig()
+	out.Results = suites.RunSuiteEngine(ctx, suite, params, cfg)
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	record(StepExecution, fmt.Sprintf("%d workloads executed (reps=%d warmup=%d timeout=%v)",
+		len(out.Results), reps, cfg.Warmup, cfg.Timeout), t3)
 
 	// Step 5: Analysis & evaluation.
 	t4 := time.Now()

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/workloads"
@@ -139,5 +142,71 @@ func TestTableDataGenProcess(t *testing.T) {
 	// Full-profile generation: divergence near the floor.
 	if out.Divergence > 0.1 {
 		t.Fatalf("profiled table divergence %v, want small", out.Divergence)
+	}
+}
+
+func TestPlanValidateEngineSettings(t *testing.T) {
+	if err := (Plan{Suite: "GridMix", Reps: -1}).Validate(); err == nil {
+		t.Fatal("negative reps accepted")
+	}
+	if err := (Plan{Suite: "GridMix", Timeout: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+	if err := (Plan{Suite: "GridMix", Parallel: 8, Reps: 3, Warmup: 1, Timeout: time.Minute}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunThroughEngine drives the Figure 1 process with engine settings:
+// repetitions land in every result, the execution step records them, and
+// the volume probe's evidence is no longer discarded.
+func TestRunThroughEngine(t *testing.T) {
+	out, err := Run(Plan{
+		Object:   "engine demo",
+		Suite:    "GridMix",
+		Scale:    1,
+		Workers:  2,
+		Seed:     5,
+		Parallel: 4,
+		Reps:     2,
+		Warmup:   1,
+		Timeout:  time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out.Results {
+		if len(r.Reps) != 2 {
+			t.Fatalf("%s: reps %d, want 2", r.Workload, len(r.Reps))
+		}
+		if r.Throughput.Count != 2 {
+			t.Fatalf("%s: throughput summary %+v", r.Workload, r.Throughput)
+		}
+	}
+	if out.Volume == "" || len(out.VolumeEvidence) == 0 {
+		t.Fatalf("volume probe evidence missing: %q %v", out.Volume, out.VolumeEvidence)
+	}
+	var execDetail string
+	for _, s := range out.Steps {
+		if s.Step == StepExecution {
+			execDetail = s.Detail
+		}
+	}
+	if !strings.Contains(execDetail, "reps=2") || !strings.Contains(execDetail, "warmup=1") {
+		t.Fatalf("execution step detail %q does not record engine settings", execDetail)
+	}
+}
+
+// TestRunContextCancelled: a context cancelled up front aborts the process
+// before the data-generation probes, not after them.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := RunContext(ctx, Plan{Suite: "GridMix", Scale: 1, Workers: 2, Seed: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled run produced an outcome with %d steps", len(out.Steps))
 	}
 }

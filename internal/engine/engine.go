@@ -1,0 +1,285 @@
+// Package engine is bdbench's concurrent execution layer — the middle box
+// of the paper's Figure 2 architecture between test generation and
+// analysis. It schedules a suite's workloads onto a bounded worker pool
+// with per-workload warmup and repetition control, per-run context
+// deadlines, panic isolation and streaming progress events.
+//
+// Scheduling never changes what workloads compute: every workload derives
+// its input and behaviour from Params alone, so the same seed yields
+// identical per-workload outputs — counters, operation counts, verification
+// outcomes — whether the pool has one worker or many, and the returned
+// slice is always in task order. Wall-clock measurements (elapsed,
+// throughput, latencies) naturally vary with contention.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// Config controls one engine run.
+type Config struct {
+	// Workers bounds how many workloads execute concurrently. Zero or
+	// negative means one worker per available CPU.
+	Workers int
+	// Reps is the number of measured repetitions per workload (default 1).
+	// The representative result reported per workload is the
+	// median-throughput repetition; Best is the fastest.
+	Reps int
+	// Warmup is the number of unmeasured runs before the repetitions
+	// (default 0). Warmup results are discarded.
+	Warmup int
+	// Timeout bounds each individual run (warmup or repetition). Zero means
+	// no per-run deadline; the parent context still applies.
+	Timeout time.Duration
+	// OnEvent, when set, receives progress events. Calls are serialized by
+	// the engine, so the callback needs no locking of its own.
+	OnEvent func(Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	return c
+}
+
+// Task is one scheduled workload execution.
+type Task struct {
+	Workload workloads.Workload
+	Category workloads.Category
+	Params   workloads.Params
+}
+
+// Rep is the outcome of one measured repetition.
+type Rep struct {
+	Result metrics.Result
+	Err    error
+}
+
+// RepSummary is an exported snapshot of repetition statistics, suitable for
+// reports and JSON output.
+type RepSummary struct {
+	Count  uint64
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+func snapshotSummary(s *stats.Summary) RepSummary {
+	if s.Count() == 0 {
+		return RepSummary{}
+	}
+	return RepSummary{
+		Count:  s.Count(),
+		Mean:   s.Mean(),
+		StdDev: s.StdDev(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+	}
+}
+
+// TaskResult is the aggregated outcome of one task's warmup + repetitions.
+type TaskResult struct {
+	Workload string
+	Category workloads.Category
+	// Reps holds every measured repetition in execution order.
+	Reps []Rep
+	// Median is the representative result: the successful repetition with
+	// median throughput (the first repetition's partial measurements when
+	// every repetition failed).
+	Median metrics.Result
+	// Best is the successful repetition with the highest throughput.
+	Best metrics.Result
+	// Throughput and ElapsedSec summarize successful repetitions
+	// (ops/s and wall seconds respectively).
+	Throughput RepSummary
+	ElapsedSec RepSummary
+	// Err is the first error observed across the measured repetitions; nil
+	// when every repetition succeeded.
+	Err error
+}
+
+// EventKind labels a progress event.
+type EventKind string
+
+// The event kinds streamed during a run.
+const (
+	// EventTaskStart fires when a worker picks up a task.
+	EventTaskStart EventKind = "task-start"
+	// EventRepDone fires after each run, warmup or measured.
+	EventRepDone EventKind = "rep-done"
+	// EventTaskDone fires when a task's last repetition finishes.
+	EventTaskDone EventKind = "task-done"
+)
+
+// Event is one streamed progress report.
+type Event struct {
+	Kind     EventKind
+	Workload string
+	// Task indexes the originating task in the Run call's slice.
+	Task int
+	// Rep is the 0-based measured repetition, or -1 for warmup runs and
+	// task-level events.
+	Rep    int
+	Warmup bool
+	Err    error
+	// Elapsed is the run's wall time (rep-done) or the task's total wall
+	// time (task-done).
+	Elapsed time.Duration
+}
+
+// Run executes the tasks on a bounded worker pool and returns one
+// TaskResult per task, in task order. It never fails as a whole: workload
+// errors, timeouts and panics are reported per repetition. Run returns once
+// every task has been scheduled and observed; a cancelled context makes
+// remaining runs fail fast with the context's error.
+func Run(ctx context.Context, tasks []Task, cfg Config) []TaskResult {
+	cfg = cfg.withDefaults()
+	if len(tasks) == 0 {
+		return nil
+	}
+	var emitMu sync.Mutex
+	emit := func(e Event) {
+		if cfg.OnEvent == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		cfg.OnEvent(e)
+	}
+
+	results := make([]TaskResult, len(tasks))
+	workers := cfg.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runTask(ctx, i, tasks[i], cfg, emit)
+			}
+		}()
+	}
+	for i := range tasks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runTask executes one task's warmup runs and measured repetitions.
+func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event)) TaskResult {
+	res := TaskResult{Workload: t.Workload.Name(), Category: t.Category}
+	t0 := time.Now()
+	emit(Event{Kind: EventTaskStart, Workload: res.Workload, Task: idx, Rep: -1})
+
+	for i := 0; i < cfg.Warmup; i++ {
+		rep := runOnce(ctx, t, cfg.Timeout)
+		emit(Event{Kind: EventRepDone, Workload: res.Workload, Task: idx, Rep: -1,
+			Warmup: true, Err: rep.Err, Elapsed: rep.Result.Elapsed})
+		if ctx.Err() != nil {
+			break
+		}
+	}
+
+	var throughput, elapsed stats.Summary
+	for r := 0; r < cfg.Reps; r++ {
+		rep := runOnce(ctx, t, cfg.Timeout)
+		res.Reps = append(res.Reps, rep)
+		emit(Event{Kind: EventRepDone, Workload: res.Workload, Task: idx, Rep: r,
+			Err: rep.Err, Elapsed: rep.Result.Elapsed})
+		if rep.Err != nil {
+			if res.Err == nil {
+				res.Err = rep.Err
+			}
+		} else {
+			throughput.Observe(rep.Result.Throughput)
+			elapsed.Observe(rep.Result.Elapsed.Seconds())
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	res.Throughput = snapshotSummary(&throughput)
+	res.ElapsedSec = snapshotSummary(&elapsed)
+
+	// Median and best of the successful repetitions, ranked by throughput.
+	var ok []int
+	for i, rep := range res.Reps {
+		if rep.Err == nil {
+			ok = append(ok, i)
+		}
+	}
+	if len(ok) > 0 {
+		sort.Slice(ok, func(a, b int) bool {
+			return res.Reps[ok[a]].Result.Throughput < res.Reps[ok[b]].Result.Throughput
+		})
+		res.Median = res.Reps[ok[len(ok)/2]].Result
+		res.Best = res.Reps[ok[len(ok)-1]].Result
+	} else if len(res.Reps) > 0 {
+		res.Median = res.Reps[0].Result
+		res.Best = res.Reps[0].Result
+	}
+	emit(Event{Kind: EventTaskDone, Workload: res.Workload, Task: idx, Rep: -1,
+		Err: res.Err, Elapsed: time.Since(t0)})
+	return res
+}
+
+// runOnce executes a single run under the configured deadline, isolating
+// panics into errors. When the deadline passes before the workload unwinds,
+// the repetition is reported with the context error immediately; the
+// workload goroutine observes the same context cooperatively and exits on
+// its own (the collector is concurrency-safe, so late writes are harmless).
+func runOnce(ctx context.Context, t Task, timeout time.Duration) Rep {
+	runCtx, cancel := ctx, func() {}
+	if timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+
+	c := metrics.NewCollector(t.Workload.Name())
+	if err := runCtx.Err(); err != nil {
+		// Already expired or cancelled: fail fast without starting the run.
+		return Rep{Result: c.Snapshot(), Err: err}
+	}
+	done := make(chan error, 1)
+	t0 := time.Now()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- fmt.Errorf("engine: workload %s panicked: %v", t.Workload.Name(), r)
+			}
+		}()
+		done <- t.Workload.Run(runCtx, t.Params, c)
+	}()
+
+	var err error
+	select {
+	case err = <-done:
+	case <-runCtx.Done():
+		err = runCtx.Err()
+	}
+	c.SetElapsed(time.Since(t0))
+	return Rep{Result: c.Snapshot(), Err: err}
+}

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// fakeWorkload is a configurable test workload.
+type fakeWorkload struct {
+	name string
+	run  func(ctx context.Context, p workloads.Params, c *metrics.Collector) error
+}
+
+func (f fakeWorkload) Name() string               { return f.name }
+func (fakeWorkload) Category() workloads.Category { return workloads.Offline }
+func (fakeWorkload) Domain() string               { return "test" }
+func (fakeWorkload) StackTypes() []stacks.Type    { return nil }
+func (f fakeWorkload) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
+	return f.run(ctx, p, c)
+}
+
+// seededWorkload does deterministic seeded work: it hashes RNG draws into a
+// counter, so any scheduling-dependent behaviour would change the result.
+func seededWorkload(name string) fakeWorkload {
+	return fakeWorkload{name: name, run: func(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
+		g := stats.NewRNG(p.Seed)
+		var acc int64
+		for i := 0; i < 10000; i++ {
+			acc += int64(g.IntN(1 << 20))
+		}
+		c.Add("records", 10000)
+		c.Add("checksum", acc)
+		return nil
+	}}
+}
+
+func tasksOf(ws ...workloads.Workload) []Task {
+	tasks := make([]Task, len(ws))
+	for i, w := range ws {
+		tasks[i] = Task{Workload: w, Category: w.Category(), Params: workloads.Params{Seed: 7 + uint64(i), Scale: 1, Workers: 2}}
+	}
+	return tasks
+}
+
+// TestDeterminismAcrossWorkerCounts is the engine's core guarantee: the
+// same seeds produce identical per-workload results (in identical order) at
+// workers=1 and workers=8.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	var ws []workloads.Workload
+	for i := 0; i < 8; i++ {
+		ws = append(ws, seededWorkload(fmt.Sprintf("seeded-%d", i)))
+	}
+	sequential := Run(context.Background(), tasksOf(ws...), Config{Workers: 1})
+	parallel := Run(context.Background(), tasksOf(ws...), Config{Workers: 8})
+	if len(sequential) != len(parallel) || len(sequential) != 8 {
+		t.Fatalf("result lengths: %d vs %d", len(sequential), len(parallel))
+	}
+	for i := range sequential {
+		s, p := sequential[i], parallel[i]
+		if s.Workload != p.Workload {
+			t.Fatalf("order differs at %d: %s vs %s", i, s.Workload, p.Workload)
+		}
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("%s: unexpected errors %v / %v", s.Workload, s.Err, p.Err)
+		}
+		for _, key := range []string{"records", "checksum"} {
+			if sv, pv := s.Median.Counters[key], p.Median.Counters[key]; sv != pv {
+				t.Fatalf("%s: counter %s differs across worker counts: %d vs %d", s.Workload, key, sv, pv)
+			}
+		}
+	}
+}
+
+// TestTimeoutCancelsWorkload verifies that an overrunning workload observes
+// the per-run deadline through its context and that the repetition reports
+// the deadline error.
+func TestTimeoutCancelsWorkload(t *testing.T) {
+	var observed atomic.Bool
+	blocker := fakeWorkload{name: "blocker", run: func(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
+		<-ctx.Done()
+		observed.Store(true)
+		return ctx.Err()
+	}}
+	res := Run(context.Background(), tasksOf(blocker), Config{Workers: 2, Timeout: 20 * time.Millisecond})
+	if len(res) != 1 {
+		t.Fatalf("results %d", len(res))
+	}
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", res[0].Err)
+	}
+	// The workload goroutine observes the same cancellation cooperatively.
+	deadline := time.Now().Add(2 * time.Second)
+	for !observed.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("workload never observed the context cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if res[0].Median.Elapsed <= 0 {
+		t.Fatal("timed-out repetition has no elapsed time")
+	}
+}
+
+// TestPanicIsolation proves a panicking workload becomes an error without
+// poisoning sibling results.
+func TestPanicIsolation(t *testing.T) {
+	bomb := fakeWorkload{name: "bomb", run: func(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
+		panic("kaboom")
+	}}
+	res := Run(context.Background(),
+		tasksOf(seededWorkload("left"), bomb, seededWorkload("right")),
+		Config{Workers: 3})
+	if len(res) != 3 {
+		t.Fatalf("results %d", len(res))
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("siblings poisoned: %v / %v", res[0].Err, res[2].Err)
+	}
+	if res[0].Median.Counters["records"] != 10000 || res[2].Median.Counters["records"] != 10000 {
+		t.Fatal("sibling results incomplete")
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "panicked") {
+		t.Fatalf("panic not converted to error: %v", res[1].Err)
+	}
+	if !strings.Contains(res[1].Err.Error(), "kaboom") {
+		t.Fatalf("panic value lost: %v", res[1].Err)
+	}
+}
+
+// TestWarmupAndReps checks repetition accounting: warmup runs execute but
+// are not measured, reps are, and median/best are drawn from the reps.
+func TestWarmupAndReps(t *testing.T) {
+	var runs atomic.Int64
+	counting := fakeWorkload{name: "counting", run: func(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
+		runs.Add(1)
+		c.Add("records", 1000)
+		return nil
+	}}
+	var events []Event
+	res := Run(context.Background(), tasksOf(counting), Config{
+		Workers: 1, Warmup: 2, Reps: 3,
+		OnEvent: func(e Event) { events = append(events, e) },
+	})
+	if got := runs.Load(); got != 5 {
+		t.Fatalf("runs %d, want 5 (2 warmup + 3 reps)", got)
+	}
+	r := res[0]
+	if len(r.Reps) != 3 {
+		t.Fatalf("measured reps %d, want 3", len(r.Reps))
+	}
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Throughput.Count != 3 {
+		t.Fatalf("throughput summary count %d, want 3", r.Throughput.Count)
+	}
+	if r.Median.Throughput <= 0 || r.Best.Throughput < r.Median.Throughput {
+		t.Fatalf("median/best inconsistent: median=%v best=%v", r.Median.Throughput, r.Best.Throughput)
+	}
+
+	// Event stream: task-start, 2 warmup rep-dones, 3 measured rep-dones,
+	// task-done — serialized, in order for a single task.
+	var kinds []EventKind
+	warmups, measured := 0, 0
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+		if e.Kind == EventRepDone {
+			if e.Warmup {
+				warmups++
+			} else {
+				measured++
+			}
+		}
+	}
+	if len(events) != 7 || kinds[0] != EventTaskStart || kinds[6] != EventTaskDone {
+		t.Fatalf("event stream %v", kinds)
+	}
+	if warmups != 2 || measured != 3 {
+		t.Fatalf("warmup/measured events %d/%d", warmups, measured)
+	}
+}
+
+// TestAllRepsFailed keeps partial measurements when every repetition fails.
+func TestAllRepsFailed(t *testing.T) {
+	failing := fakeWorkload{name: "failing", run: func(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
+		c.Add("records", 5)
+		return errors.New("verification failed")
+	}}
+	res := Run(context.Background(), tasksOf(failing), Config{Workers: 1, Reps: 2})
+	r := res[0]
+	if r.Err == nil || r.Throughput.Count != 0 {
+		t.Fatalf("err=%v summary=%+v", r.Err, r.Throughput)
+	}
+	if r.Median.Counters["records"] != 5 {
+		t.Fatal("partial measurements dropped")
+	}
+}
+
+// TestParentCancellationFailsFast: a cancelled parent context makes
+// remaining repetitions report the cancellation promptly.
+func TestParentCancellationFailsFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Run(ctx, tasksOf(seededWorkload("a"), seededWorkload("b")), Config{Workers: 1, Reps: 3})
+	for _, r := range res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want canceled", r.Workload, r.Err)
+		}
+		if len(r.Reps) != 1 {
+			t.Fatalf("%s: ran %d reps after cancellation, want 1 fast-failing rep", r.Workload, len(r.Reps))
+		}
+	}
+}

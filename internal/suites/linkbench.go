@@ -1,6 +1,7 @@
 package suites
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -33,7 +34,7 @@ func (LinkBenchOps) Domain() string { return "social graph serving" }
 func (LinkBenchOps) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeDBMS} }
 
 // Run implements workloads.Workload.
-func (LinkBenchOps) Run(p workloads.Params, c *metrics.Collector) error {
+func (LinkBenchOps) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
 	g := stats.NewRNG(p.Seed)
 	graph := graphgen.BarabasiAlbert{M: 4}.Generate(g, 8+p.Scale)
@@ -74,6 +75,11 @@ func (LinkBenchOps) Run(p workloads.Params, c *metrics.Collector) error {
 	chooser := stats.ScrambledZipf{Count: graph.N, S: 1.2}
 	nextNode := graph.N
 	for i := int64(0); i < ops; i++ {
+		if i%128 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		id := chooser.Next(g) % graph.N
 		u := g.Float64()
 		switch {

@@ -1,10 +1,12 @@
 package suites
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"github.com/bdbench/bdbench/internal/datagen/veracity"
+	"github.com/bdbench/bdbench/internal/engine"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/workloads"
 )
@@ -189,7 +191,7 @@ func TestEveryDistinctWorkloadRuns(t *testing.T) {
 				t.Run(w.Name(), func(t *testing.T) {
 					t.Parallel()
 					c := newCollector(w.Name())
-					if err := w.Run(workloads.Params{Seed: 77, Scale: 1, Workers: 2}, c); err != nil {
+					if err := w.Run(context.Background(), workloads.Params{Seed: 77, Scale: 1, Workers: 2}, c); err != nil {
 						t.Fatal(err)
 					}
 				})
@@ -219,7 +221,7 @@ func TestRunSuiteCollectsResults(t *testing.T) {
 
 func TestLinkBenchOpsDirect(t *testing.T) {
 	c := newCollector("linkbench")
-	if err := (LinkBenchOps{}).Run(workloads.Params{Seed: 3, Scale: 1, Workers: 2}, c); err != nil {
+	if err := (LinkBenchOps{}).Run(context.Background(), workloads.Params{Seed: 3, Scale: 1, Workers: 2}, c); err != nil {
 		t.Fatal(err)
 	}
 	c.SetElapsed(1)
@@ -238,3 +240,71 @@ func TestLinkBenchOpsDirect(t *testing.T) {
 }
 
 func newCollector(name string) *metrics.Collector { return metrics.NewCollector(name) }
+
+// TestRunSuiteEngineDeterministicAcrossWorkers is the acceptance check for
+// the execution engine: the same seed yields identical per-workload results
+// (counters, operation counts, order) at workers=1 and workers=8.
+func TestRunSuiteEngineDeterministicAcrossWorkers(t *testing.T) {
+	suite, _ := ByName("CloudSuite")
+	p := workloads.Params{Seed: 42, Scale: 1, Workers: 2}
+	sequential := RunSuiteEngine(context.Background(), suite, p, engine.Config{Workers: 1})
+	parallel := RunSuiteEngine(context.Background(), suite, p, engine.Config{Workers: 8})
+	if len(sequential) != len(parallel) || len(sequential) == 0 {
+		t.Fatalf("result lengths: %d vs %d", len(sequential), len(parallel))
+	}
+	for i := range sequential {
+		s, q := sequential[i], parallel[i]
+		if s.Workload != q.Workload || s.Category != q.Category {
+			t.Fatalf("order differs at %d: %s vs %s", i, s.Workload, q.Workload)
+		}
+		if s.Err != nil || q.Err != nil {
+			t.Fatalf("%s: errors %v / %v", s.Workload, s.Err, q.Err)
+		}
+		if len(s.Result.Counters) == 0 {
+			t.Fatalf("%s: no counters recorded", s.Workload)
+		}
+		for k, v := range s.Result.Counters {
+			if q.Result.Counters[k] != v {
+				t.Fatalf("%s: counter %s differs across worker counts: %d vs %d",
+					s.Workload, k, v, q.Result.Counters[k])
+			}
+		}
+		if len(s.Result.Ops) != len(q.Result.Ops) {
+			t.Fatalf("%s: op sets differ", s.Workload)
+		}
+		for j := range s.Result.Ops {
+			if s.Result.Ops[j].Op != q.Result.Ops[j].Op || s.Result.Ops[j].Count != q.Result.Ops[j].Count {
+				t.Fatalf("%s: op %s count differs across worker counts", s.Workload, s.Result.Ops[j].Op)
+			}
+		}
+	}
+}
+
+// TestRunSuiteEngineReps checks the repetition plumbing end to end at the
+// suite layer: every workload reports each measured repetition plus a
+// throughput summary, and the representative result is one of the reps.
+func TestRunSuiteEngineReps(t *testing.T) {
+	suite, _ := ByName("GridMix")
+	p := workloads.Params{Seed: 7, Scale: 1, Workers: 2}
+	results := RunSuiteEngine(context.Background(), suite, p, engine.Config{Workers: 2, Reps: 3, Warmup: 1})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Workload, r.Err)
+		}
+		if len(r.Reps) != 3 {
+			t.Fatalf("%s: reps %d, want 3", r.Workload, len(r.Reps))
+		}
+		if r.Throughput.Count != 3 || r.Throughput.Mean <= 0 {
+			t.Fatalf("%s: throughput summary %+v", r.Workload, r.Throughput)
+		}
+		found := false
+		for _, rep := range r.Reps {
+			if rep.Throughput == r.Result.Throughput {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: representative result is not one of the reps", r.Workload)
+		}
+	}
+}

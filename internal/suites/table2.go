@@ -1,10 +1,11 @@
 package suites
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"time"
 
+	"github.com/bdbench/bdbench/internal/engine"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/workloads"
 )
@@ -97,27 +98,56 @@ func CompareTable2ToPaper(rows []Table2Row) []string {
 type SuiteRunResult struct {
 	Workload string
 	Category workloads.Category
-	Result   metrics.Result
-	Err      error
+	// Result is the representative measurement: the median-throughput
+	// repetition when the engine ran several.
+	Result metrics.Result
+	// Reps holds every measured repetition in execution order (length 1 for
+	// single-repetition runs).
+	Reps []metrics.Result
+	// Throughput summarizes ops/s across the successful repetitions.
+	Throughput engine.RepSummary
+	Err        error
+}
+
+// Tasks flattens the suite's workload inventory into engine tasks, one per
+// runner, preserving row order.
+func (s Suite) Tasks(p workloads.Params) []engine.Task {
+	var tasks []engine.Task
+	for _, row := range s.Rows {
+		for _, w := range row.Runners {
+			tasks = append(tasks, engine.Task{Workload: w, Category: row.Category, Params: p})
+		}
+	}
+	return tasks
 }
 
 // RunSuite executes every workload in the suite's inventory at the given
 // scale and returns per-workload results. Execution stops at nothing: a
-// failing workload is reported in its result's Err.
+// failing workload is reported in its result's Err. It is a thin wrapper
+// over the execution engine with default settings (one worker per CPU, one
+// repetition, no deadline); use RunSuiteEngine for full control.
 func RunSuite(s Suite, p workloads.Params) []SuiteRunResult {
-	var out []SuiteRunResult
-	for _, row := range s.Rows {
-		for _, w := range row.Runners {
-			c := metrics.NewCollector(w.Name())
-			t0 := time.Now()
-			err := w.Run(p, c)
-			c.SetElapsed(time.Since(t0))
-			out = append(out, SuiteRunResult{
-				Workload: w.Name(),
-				Category: row.Category,
-				Result:   c.Snapshot(),
-				Err:      err,
-			})
+	return RunSuiteEngine(context.Background(), s, p, engine.Config{})
+}
+
+// RunSuiteEngine executes the suite's inventory on the concurrent execution
+// engine. Results come back in inventory order regardless of scheduling,
+// and identical seeds yield identical per-workload outputs (counters,
+// operation counts, verification outcomes) at any worker count; only
+// wall-clock measurements vary.
+func RunSuiteEngine(ctx context.Context, s Suite, p workloads.Params, cfg engine.Config) []SuiteRunResult {
+	tr := engine.Run(ctx, s.Tasks(p), cfg)
+	out := make([]SuiteRunResult, len(tr))
+	for i, r := range tr {
+		out[i] = SuiteRunResult{
+			Workload:   r.Workload,
+			Category:   r.Category,
+			Result:     r.Median,
+			Throughput: r.Throughput,
+			Err:        r.Err,
+		}
+		for _, rep := range r.Reps {
+			out[i].Reps = append(out[i].Reps, rep.Result)
 		}
 	}
 	return out

@@ -6,6 +6,7 @@
 package commerce
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -72,8 +73,11 @@ func (CollaborativeFiltering) Domain() string { return "e-commerce" }
 func (CollaborativeFiltering) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
 
 // Run implements workloads.Workload.
-func (CollaborativeFiltering) Run(p workloads.Params, c *metrics.Collector) error {
+func (CollaborativeFiltering) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	g := stats.NewRNG(p.Seed)
 	users := p.Scale * 500
 	const items = 80
@@ -171,9 +175,12 @@ func labeledDocs(seed uint64, n, meanLen int) ([]textgen.Document, []int, int) {
 }
 
 // Run implements workloads.Workload.
-func (NaiveBayes) Run(p workloads.Params, c *metrics.Collector) error {
+func (NaiveBayes) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
 	n := p.Scale * 1000
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	docs, labels, k := labeledDocs(p.Seed, n, 40)
 	split := n * 4 / 5
 
@@ -232,6 +239,9 @@ func (NaiveBayes) Run(p workloads.Params, c *metrics.Collector) error {
 	}
 
 	// ---- Classification of the held-out 20%.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t1 := time.Now()
 	v := float64(len(vocab))
 	totalDocs := 0.0

@@ -1,6 +1,7 @@
 package commerce
 
 import (
+	"context"
 	"testing"
 
 	"github.com/bdbench/bdbench/internal/metrics"
@@ -10,7 +11,7 @@ import (
 
 func TestCollaborativeFiltering(t *testing.T) {
 	c := metrics.NewCollector("cf")
-	if err := (CollaborativeFiltering{}).Run(workloads.Params{Seed: 1, Scale: 1, Workers: 2}, c); err != nil {
+	if err := (CollaborativeFiltering{}).Run(context.Background(), workloads.Params{Seed: 1, Scale: 1, Workers: 2}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("records") == 0 {
@@ -20,7 +21,7 @@ func TestCollaborativeFiltering(t *testing.T) {
 
 func TestNaiveBayesAccuracy(t *testing.T) {
 	c := metrics.NewCollector("nb")
-	if err := (NaiveBayes{}).Run(workloads.Params{Seed: 2, Scale: 1, Workers: 4}, c); err != nil {
+	if err := (NaiveBayes{}).Run(context.Background(), workloads.Params{Seed: 2, Scale: 1, Workers: 4}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("accuracy_pct") < 80 {

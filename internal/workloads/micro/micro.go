@@ -4,6 +4,7 @@
 package micro
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -65,8 +66,11 @@ func (WordCount) Domain() string { return "micro" }
 func (WordCount) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
 
 // Run implements workloads.Workload.
-func (WordCount) Run(p workloads.Params, c *metrics.Collector) error {
+func (WordCount) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	input := textInput(p, 10)
 	eng := mapreduce.New(p.Workers)
 	job := mapreduce.Job{
@@ -130,11 +134,14 @@ func (Grep) Domain() string { return "micro" }
 func (Grep) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
 
 // Run implements workloads.Workload.
-func (g Grep) Run(p workloads.Params, c *metrics.Collector) error {
+func (g Grep) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
 	pattern := g.Pattern
 	if pattern == "" {
 		pattern = "data"
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	input := textInput(p, 10)
 	eng := mapreduce.New(p.Workers)
@@ -179,8 +186,11 @@ func (Sort) Domain() string { return "micro" }
 func (Sort) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
 
 // Run implements workloads.Workload.
-func (Sort) Run(p workloads.Params, c *metrics.Collector) error {
+func (Sort) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	input := keyInput(p)
 	eng := mapreduce.New(p.Workers)
 	job := mapreduce.Job{
@@ -219,8 +229,11 @@ func (TeraSort) Domain() string { return "micro" }
 func (TeraSort) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
 
 // Run implements workloads.Workload.
-func (TeraSort) Run(p workloads.Params, c *metrics.Collector) error {
+func (TeraSort) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	input := keyInput(p)
 	g := stats.NewRNG(p.Seed + 1)
 	splits := mapreduce.SampleSplits(input, p.Workers, 1000, g)

@@ -1,6 +1,7 @@
 package micro
 
 import (
+	"context"
 	"testing"
 
 	"github.com/bdbench/bdbench/internal/metrics"
@@ -12,7 +13,7 @@ func runWorkload(t *testing.T, w workloads.Workload) *metrics.Collector {
 	t.Helper()
 	c := metrics.NewCollector(w.Name())
 	c.Start()
-	if err := w.Run(workloads.Params{Seed: 42, Scale: 1, Workers: 4}, c); err != nil {
+	if err := w.Run(context.Background(), workloads.Params{Seed: 42, Scale: 1, Workers: 4}, c); err != nil {
 		t.Fatalf("%s: %v", w.Name(), err)
 	}
 	c.Stop()
@@ -38,7 +39,7 @@ func TestGrep(t *testing.T) {
 
 func TestGrepCustomPatternNoMatches(t *testing.T) {
 	c := metrics.NewCollector("grep")
-	if err := (Grep{Pattern: "zzzznotaword"}).Run(workloads.Params{Seed: 1, Scale: 1}, c); err != nil {
+	if err := (Grep{Pattern: "zzzznotaword"}).Run(context.Background(), workloads.Params{Seed: 1, Scale: 1}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("matches") != 0 {

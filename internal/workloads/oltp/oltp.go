@@ -6,6 +6,7 @@
 package oltp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -118,12 +119,15 @@ func (w CoreWorkload) Load(store *nosql.Store, g *stats.RNG, recordCount int64) 
 // Run implements workloads.Workload: load Scale*10000 records, then execute
 // Scale*OpsPerScale operations from Workers concurrent clients, recording
 // per-operation latencies.
-func (w CoreWorkload) Run(p workloads.Params, c *metrics.Collector) error {
+func (w CoreWorkload) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	w = w.defaults()
 	p = p.WithDefaults()
 	recordCount := int64(p.Scale) * 10000
 	opCount := int64(p.Scale) * int64(w.OpsPerScale)
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	store := nosql.Open(max(p.Workers, 4), p.Seed)
 	loadG := stats.NewRNG(p.Seed)
 	loadStart := time.Now()
@@ -140,11 +144,17 @@ func (w CoreWorkload) Run(p workloads.Params, c *metrics.Collector) error {
 			g := stats.NewRNG(p.Seed).Split("client", cl)
 			chooser := w.chooser(&run.insertCursor, recordCount)
 			for op := int64(0); op < perClient; op++ {
+				if op%64 == 0 && ctx.Err() != nil {
+					return
+				}
 				w.doOne(store, g, chooser, run, c)
 			}
 		}(cl)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.Add("records", opCount)
 	c.Add("errors", atomic.LoadInt64(&run.errCount))
 

@@ -1,6 +1,7 @@
 package oltp
 
 import (
+	"context"
 	"testing"
 
 	"github.com/bdbench/bdbench/internal/metrics"
@@ -14,7 +15,7 @@ func runCore(t *testing.T, w CoreWorkload) metrics.Result {
 	t.Helper()
 	c := metrics.NewCollector(w.Name())
 	c.Start()
-	if err := w.Run(workloads.Params{Seed: 11, Scale: 1, Workers: 4}, c); err != nil {
+	if err := w.Run(context.Background(), workloads.Params{Seed: 11, Scale: 1, Workers: 4}, c); err != nil {
 		t.Fatalf("%s: %v", w.Name(), err)
 	}
 	c.Stop()

@@ -8,6 +8,7 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -60,8 +61,11 @@ func (LoadSelectAggregateJoin) Domain() string { return "relational queries" }
 func (LoadSelectAggregateJoin) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeDBMS} }
 
 // Run implements workloads.Workload.
-func (LoadSelectAggregateJoin) Run(p workloads.Params, c *metrics.Collector) error {
+func (LoadSelectAggregateJoin) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	orders := ordersRows(p)
 	customers := customersTable(p)
 	db := dbms.Open()
@@ -98,6 +102,9 @@ func (LoadSelectAggregateJoin) Run(p workloads.Params, c *metrics.Collector) err
 	}
 
 	// Aggregation: revenue per region.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t2 := time.Now()
 	agg, err := db.Query("SELECT region, sum(price) AS revenue, count(*) AS n FROM orders GROUP BY region ORDER BY revenue DESC")
 	if err != nil {
@@ -152,8 +159,11 @@ func (MapReduceEquivalents) Domain() string { return "relational queries" }
 func (MapReduceEquivalents) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
 
 // Run implements workloads.Workload.
-func (MapReduceEquivalents) Run(p workloads.Params, c *metrics.Collector) error {
+func (MapReduceEquivalents) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	orders := ordersRows(p)
 	customers := customersTable(p)
 	eng := mapreduce.New(p.Workers)
@@ -226,6 +236,9 @@ func (MapReduceEquivalents) Run(p workloads.Params, c *metrics.Collector) error 
 		return fmt.Errorf("pavlo-mapreduce: aggregation %d groups, want 5", len(agg))
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// Repartition join: tag records by source, join in the reducer.
 	ci := func(name string) int { return customers.Schema.ColIndex(name) }
 	joinInput := make([]mapreduce.KV, 0, orders.NumRows()+customers.NumRows())
@@ -294,8 +307,11 @@ func (URLCount) StackTypes() []stacks.Type {
 }
 
 // Run implements workloads.Workload.
-func (URLCount) Run(p workloads.Params, c *metrics.Collector) error {
+func (URLCount) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	orders := ordersRows(p)
 	logs, err := weblog.Generator{}.FromTable(stats.NewRNG(p.Seed+2), orders, p.Scale*5000)
 	if err != nil {
@@ -326,6 +342,9 @@ func (URLCount) Run(p workloads.Params, c *metrics.Collector) error {
 		return fmt.Errorf("url-count: empty aggregation")
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// MapReduce side: same count as a job; top-1 must agree.
 	input := make([]mapreduce.KV, len(logs))
 	for i, r := range logs {

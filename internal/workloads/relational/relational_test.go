@@ -1,6 +1,7 @@
 package relational
 
 import (
+	"context"
 	"testing"
 
 	"github.com/bdbench/bdbench/internal/metrics"
@@ -9,7 +10,7 @@ import (
 
 func TestPavloDBMS(t *testing.T) {
 	c := metrics.NewCollector("pavlo-dbms")
-	if err := (LoadSelectAggregateJoin{}).Run(workloads.Params{Seed: 1, Scale: 1, Workers: 2}, c); err != nil {
+	if err := (LoadSelectAggregateJoin{}).Run(context.Background(), workloads.Params{Seed: 1, Scale: 1, Workers: 2}, c); err != nil {
 		t.Fatal(err)
 	}
 	c.SetElapsed(1)
@@ -27,7 +28,7 @@ func TestPavloDBMS(t *testing.T) {
 
 func TestPavloMapReduce(t *testing.T) {
 	c := metrics.NewCollector("pavlo-mr")
-	if err := (MapReduceEquivalents{}).Run(workloads.Params{Seed: 1, Scale: 1, Workers: 4}, c); err != nil {
+	if err := (MapReduceEquivalents{}).Run(context.Background(), workloads.Params{Seed: 1, Scale: 1, Workers: 4}, c); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,18 +39,18 @@ func TestDBMSAndMapReduceAgreeOnSelection(t *testing.T) {
 	// means they agree with each other.
 	seed := uint64(77)
 	c1 := metrics.NewCollector("a")
-	if err := (LoadSelectAggregateJoin{}).Run(workloads.Params{Seed: seed, Scale: 1, Workers: 2}, c1); err != nil {
+	if err := (LoadSelectAggregateJoin{}).Run(context.Background(), workloads.Params{Seed: seed, Scale: 1, Workers: 2}, c1); err != nil {
 		t.Fatal(err)
 	}
 	c2 := metrics.NewCollector("b")
-	if err := (MapReduceEquivalents{}).Run(workloads.Params{Seed: seed, Scale: 1, Workers: 2}, c2); err != nil {
+	if err := (MapReduceEquivalents{}).Run(context.Background(), workloads.Params{Seed: seed, Scale: 1, Workers: 2}, c2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestURLCount(t *testing.T) {
 	c := metrics.NewCollector("url-count")
-	if err := (URLCount{}).Run(workloads.Params{Seed: 2, Scale: 1, Workers: 4}, c); err != nil {
+	if err := (URLCount{}).Run(context.Background(), workloads.Params{Seed: 2, Scale: 1, Workers: 4}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("records") == 0 {

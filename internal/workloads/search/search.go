@@ -6,6 +6,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -39,8 +40,11 @@ func (InvertedIndex) Domain() string { return "search engine" }
 func (InvertedIndex) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
 
 // Run implements workloads.Workload.
-func (InvertedIndex) Run(p workloads.Params, c *metrics.Collector) error {
+func (InvertedIndex) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	docs := textgen.ReferenceCorpus(p.Seed, p.Scale*1000, 40)
 	input := make([]mapreduce.KV, len(docs))
 	for i, d := range docs {
@@ -123,8 +127,11 @@ func (PageRank) Domain() string { return "search engine" }
 func (PageRank) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeGraph} }
 
 // Run implements workloads.Workload.
-func (PageRank) Run(p workloads.Params, c *metrics.Collector) error {
+func (PageRank) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	scale := 8 + p.Scale // 2^(8+scale) vertices
 	g := graphgen.DefaultRMAT.Generate(stats.NewRNG(p.Seed), scale)
 	eng := graphengine.New(p.Workers)

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"github.com/bdbench/bdbench/internal/metrics"
@@ -9,7 +10,7 @@ import (
 
 func TestInvertedIndex(t *testing.T) {
 	c := metrics.NewCollector("ii")
-	if err := (InvertedIndex{}).Run(workloads.Params{Seed: 1, Scale: 1, Workers: 4}, c); err != nil {
+	if err := (InvertedIndex{}).Run(context.Background(), workloads.Params{Seed: 1, Scale: 1, Workers: 4}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("terms") == 0 {
@@ -19,7 +20,7 @@ func TestInvertedIndex(t *testing.T) {
 
 func TestPageRank(t *testing.T) {
 	c := metrics.NewCollector("pr")
-	if err := (PageRank{}).Run(workloads.Params{Seed: 2, Scale: 1, Workers: 4}, c); err != nil {
+	if err := (PageRank{}).Run(context.Background(), workloads.Params{Seed: 2, Scale: 1, Workers: 4}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("messages") == 0 || c.Counter("supersteps") == 0 {

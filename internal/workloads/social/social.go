@@ -5,6 +5,7 @@
 package social
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -84,7 +85,7 @@ func (KMeans) Domain() string { return "social network" }
 func (KMeans) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
 
 // Run implements workloads.Workload.
-func (w KMeans) Run(p workloads.Params, c *metrics.Collector) error {
+func (w KMeans) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
 	k := w.K
 	if k <= 0 {
@@ -130,6 +131,9 @@ func (w KMeans) Run(p workloads.Params, c *metrics.Collector) error {
 	eng := mapreduce.New(p.Workers)
 	t0 := time.Now()
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cs := append([]Point(nil), centroids...) // capture for the mapper
 		job := mapreduce.Job{
 			Name: "kmeans-iter",
@@ -214,9 +218,12 @@ func (ConnectedComponents) Domain() string { return "social network" }
 func (ConnectedComponents) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeGraph} }
 
 // Run implements workloads.Workload.
-func (ConnectedComponents) Run(p workloads.Params, c *metrics.Collector) error {
+func (ConnectedComponents) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
 	scale := 8 + p.Scale
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	g := graphgen.BarabasiAlbert{M: 2}.Generate(stats.NewRNG(p.Seed), scale)
 	und := graphengine.Undirected(g)
 	eng := graphengine.New(p.Workers)

@@ -1,6 +1,7 @@
 package social
 
 import (
+	"context"
 	"testing"
 
 	"github.com/bdbench/bdbench/internal/metrics"
@@ -10,7 +11,7 @@ import (
 
 func TestKMeansRecoversCenters(t *testing.T) {
 	c := metrics.NewCollector("kmeans")
-	if err := (KMeans{}).Run(workloads.Params{Seed: 3, Scale: 1, Workers: 4}, c); err != nil {
+	if err := (KMeans{}).Run(context.Background(), workloads.Params{Seed: 3, Scale: 1, Workers: 4}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("iterations") != 8 {
@@ -20,7 +21,7 @@ func TestKMeansRecoversCenters(t *testing.T) {
 
 func TestKMeansCustomK(t *testing.T) {
 	c := metrics.NewCollector("kmeans")
-	if err := (KMeans{K: 3, Iterations: 6}).Run(workloads.Params{Seed: 4, Scale: 1, Workers: 2}, c); err != nil {
+	if err := (KMeans{K: 3, Iterations: 6}).Run(context.Background(), workloads.Params{Seed: 4, Scale: 1, Workers: 2}, c); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,7 +31,7 @@ func TestKMeansRobustAcrossSeeds(t *testing.T) {
 	// seed, not just lucky ones.
 	for seed := uint64(0); seed < 6; seed++ {
 		c := metrics.NewCollector("kmeans")
-		if err := (KMeans{}).Run(workloads.Params{Seed: seed, Scale: 1, Workers: 4}, c); err != nil {
+		if err := (KMeans{}).Run(context.Background(), workloads.Params{Seed: seed, Scale: 1, Workers: 4}, c); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
@@ -38,7 +39,7 @@ func TestKMeansRobustAcrossSeeds(t *testing.T) {
 
 func TestConnectedComponents(t *testing.T) {
 	c := metrics.NewCollector("cc")
-	if err := (ConnectedComponents{}).Run(workloads.Params{Seed: 5, Scale: 1, Workers: 4}, c); err != nil {
+	if err := (ConnectedComponents{}).Run(context.Background(), workloads.Params{Seed: 5, Scale: 1, Workers: 4}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("components") < 1 {

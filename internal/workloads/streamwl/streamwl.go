@@ -5,6 +5,7 @@
 package streamwl
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,9 +33,12 @@ func (WindowedCount) Domain() string { return "streaming" }
 func (WindowedCount) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeStreaming} }
 
 // Run implements workloads.Workload.
-func (WindowedCount) Run(p workloads.Params, c *metrics.Collector) error {
+func (WindowedCount) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
 	n := int64(p.Scale) * 20000
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	gen := streamgen.Generator{
 		EventsPerSec: 50000,
 		Arrival:      streamgen.ArrivalPoisson,
@@ -80,9 +84,12 @@ func (RollingAggregate) Domain() string { return "streaming" }
 func (RollingAggregate) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeStreaming} }
 
 // Run implements workloads.Workload.
-func (RollingAggregate) Run(p workloads.Params, c *metrics.Collector) error {
+func (RollingAggregate) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) error {
 	p = p.WithDefaults()
 	n := int64(p.Scale) * 20000
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	gen := streamgen.Generator{
 		EventsPerSec: 50000,
 		KeySpace:     20,

@@ -1,6 +1,7 @@
 package streamwl
 
 import (
+	"context"
 	"testing"
 
 	"github.com/bdbench/bdbench/internal/metrics"
@@ -9,7 +10,7 @@ import (
 
 func TestWindowedCount(t *testing.T) {
 	c := metrics.NewCollector("wc")
-	if err := (WindowedCount{}).Run(workloads.Params{Seed: 1, Scale: 1, Workers: 2}, c); err != nil {
+	if err := (WindowedCount{}).Run(context.Background(), workloads.Params{Seed: 1, Scale: 1, Workers: 2}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("windows_emitted") == 0 {
@@ -22,7 +23,7 @@ func TestWindowedCount(t *testing.T) {
 
 func TestRollingAggregate(t *testing.T) {
 	c := metrics.NewCollector("ra")
-	if err := (RollingAggregate{}).Run(workloads.Params{Seed: 2, Scale: 1, Workers: 2}, c); err != nil {
+	if err := (RollingAggregate{}).Run(context.Background(), workloads.Params{Seed: 2, Scale: 1, Workers: 2}, c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counter("emissions") == 0 {

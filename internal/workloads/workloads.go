@@ -10,6 +10,8 @@
 package workloads
 
 import (
+	"context"
+
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
 )
@@ -49,12 +51,17 @@ func (p Params) WithDefaults() Params {
 // the result's correctness invariants, and record latencies/counters into
 // the collector. Run implementations return errors for both execution
 // failures and verification failures.
+//
+// Run observes ctx cooperatively: implementations check ctx at phase
+// boundaries (and inside long operation loops) and return ctx.Err() when the
+// deadline passes or the run is cancelled. The execution engine
+// (internal/engine) supplies per-repetition deadlines through this context.
 type Workload interface {
 	Name() string
 	Category() Category
 	Domain() string
 	StackTypes() []stacks.Type
-	Run(p Params, c *metrics.Collector) error
+	Run(ctx context.Context, p Params, c *metrics.Collector) error
 }
 
 // Info is a static description used by the Table 2 reproduction.
