@@ -11,7 +11,9 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/bdbench/bdbench/internal/core"
 	"github.com/bdbench/bdbench/internal/datagen/graphgen"
@@ -320,6 +322,125 @@ func BenchmarkWorkloadCategories(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// ---- E14: metrics pipeline scalability ----
+
+// mutexCollector replicates the pre-shard Collector design — every
+// observation serializes through one mutex — as the baseline the sharded
+// pipeline is measured against.
+type mutexCollector struct {
+	mu       sync.Mutex
+	lat      map[string]*stats.LatencyHistogram
+	counters map[string]int64
+}
+
+func newMutexCollector() *mutexCollector {
+	return &mutexCollector{lat: map[string]*stats.LatencyHistogram{}, counters: map[string]int64{}}
+}
+
+func (c *mutexCollector) ObserveLatency(op string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.lat[op]
+	if !ok {
+		h = &stats.LatencyHistogram{}
+		c.lat[op] = h
+	}
+	h.Observe(d)
+}
+
+func (c *mutexCollector) Add(counter string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counters[counter] += delta
+}
+
+// benchObservers drives `goroutines` concurrent recorders (one minted per
+// goroutine) through an observe+count loop and reports the aggregate
+// recording rate.
+func benchObservers(b *testing.B, goroutines int, mint func() metrics.Recorder) {
+	per := b.N/goroutines + 1
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := mint()
+			d := time.Microsecond
+			for i := 0; i < per; i++ {
+				rec.ObserveLatency("op", d)
+				rec.Add("records", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(per*goroutines)/b.Elapsed().Seconds(), "obs/s")
+}
+
+// BenchmarkCollectorParallel is the acceptance benchmark for the sharded
+// pipeline: 8 goroutines observing concurrently through (a) the old
+// single-mutex design, (b) the collector facade (all writers on the shared
+// default shard, lock-free but contended), and (c) private shards. The
+// sharded variant must deliver materially more obs/s than the mutex
+// baseline.
+func BenchmarkCollectorParallel(b *testing.B) {
+	const goroutines = 8
+	b.Run("global-mutex", func(b *testing.B) {
+		c := newMutexCollector()
+		benchObservers(b, goroutines, func() metrics.Recorder { return c })
+	})
+	b.Run("facade-shared-shard", func(b *testing.B) {
+		c := metrics.NewCollector("bench")
+		benchObservers(b, goroutines, func() metrics.Recorder { return c })
+	})
+	b.Run("sharded", func(b *testing.B) {
+		c := metrics.NewCollector("bench")
+		benchObservers(b, goroutines, func() metrics.Recorder { return c.Shard() })
+		if c.Counter("records") == 0 {
+			b.Fatal("shard writes lost")
+		}
+	})
+}
+
+// BenchmarkCollectorShardScaling shows recording throughput scaling with
+// the writer count when each writer holds a private shard.
+func BenchmarkCollectorShardScaling(b *testing.B) {
+	maxW := runtime.GOMAXPROCS(0)
+	for w := 1; w <= maxW; w *= 2 {
+		b.Run(fmt.Sprintf("writers-%d", w), func(b *testing.B) {
+			c := metrics.NewCollector("bench")
+			benchObservers(b, w, func() metrics.Recorder { return c.Shard() })
+		})
+	}
+}
+
+// BenchmarkYCSBClientScaling runs workload A end to end as the stack client
+// count doubles: the per-operation measurement path is sharded per client
+// (plus the store's per-partition shards), so measured op throughput can
+// scale with the clients instead of re-serializing on a collector lock.
+func BenchmarkYCSBClientScaling(b *testing.B) {
+	maxW := runtime.GOMAXPROCS(0)
+	for w := 1; w <= maxW; w *= 2 {
+		b.Run(fmt.Sprintf("clients-%d", w), func(b *testing.B) {
+			var ops uint64
+			for i := 0; i < b.N; i++ {
+				c := metrics.NewCollector(oltp.WorkloadA.Name())
+				if err := oltp.WorkloadA.Run(context.Background(),
+					workloads.Params{Seed: 9, Scale: 1, Workers: w}, c); err != nil {
+					b.Fatal(err)
+				}
+				c.Stop()
+				for _, op := range c.Snapshot().Ops {
+					if !op.Substrate { // count each logical op once, not its kv_* echo
+						ops += op.Count
+					}
+				}
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
 		})
 	}
 }

@@ -165,11 +165,16 @@ func numericDivergence(raw, syn []data.Value, bins int) (float64, error) {
 			hs.Observe(v.Float())
 		}
 	}
-	emd, err := stats.EarthMover1D(hr.Probabilities(), hs.Probabilities())
+	// Extended vectors carry the out-of-range mass in explicit edge cells,
+	// so a generator spilling outside the raw range pays for that mass
+	// instead of having it clamped into (or silently dropped from) the
+	// boundary bins.
+	p, q := hr.ExtendedProbabilities(), hs.ExtendedProbabilities()
+	emd, err := stats.EarthMover1D(p, q)
 	if err != nil {
 		return 0, err
 	}
-	return emd / float64(bins), nil // normalize to [0,1]
+	return emd / float64(len(p)), nil // normalize to [0,1]
 }
 
 func rangeOf(vals []data.Value) (float64, float64) {

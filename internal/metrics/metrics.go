@@ -4,6 +4,14 @@
 // same category, architecture metrics (operation rates in the spirit of
 // MIPS/MFLOPS) that compare workloads across categories, and the energy and
 // cost models the paper says metrics must also cover.
+//
+// Collection is sharded so measurement never becomes the bottleneck it is
+// meant to observe: a Collector is a set of Shards merged only at Snapshot
+// time, every worker goroutine of a parallel stack can mint a private shard
+// (Collector.Shard, ShardOf), and recording into a shard is lock-free —
+// atomic counter cells and atomic fixed-bucket latency histograms
+// (stats.AtomicLatencyHistogram), with a mutex taken only on the first use
+// of a new label.
 package metrics
 
 import (
@@ -14,6 +22,14 @@ import (
 
 	"github.com/bdbench/bdbench/internal/stats"
 )
+
+// ArchitectureCounters names the abstract-operation counters that feed the
+// architecture metric family (§3.1): counts of work done in units comparable
+// across workload categories, bdbench's stand-in for the instructions and
+// floating-point operations behind MIPS/MFLOPS. Counters outside this list
+// ("iterations", "accuracy_pct", ...) are reported but never aggregated into
+// MOPS, keeping the two metric families separate.
+var ArchitectureCounters = []string{"records", "bytes", "shuffle_bytes", "messages", "operations"}
 
 // Kind distinguishes the two metric families of §3.1.
 type Kind string
@@ -29,27 +45,56 @@ const (
 
 // Collector accumulates measurements for one workload execution. It is safe
 // for concurrent use by the goroutines of a parallel stack.
+//
+// Internally it is a set of shards merged only at Snapshot time: every
+// recording method delegates to a default shard whose hot path is lock-free,
+// and worker goroutines can mint private shards with Shard so their
+// operation loops never contend with each other at all. The collector's own
+// mutex guards only the measured-interval lifecycle and the shard list.
 type Collector struct {
-	mu       sync.Mutex
-	name     string
-	start    time.Time
-	lat      map[string]*stats.LatencyHistogram
-	counters map[string]int64
-	started  bool
-	elapsed  time.Duration
+	name string
+
+	mu      sync.Mutex // guards the fields below, never the recording path
+	start   time.Time
+	started bool
+	stopped bool
+	elapsed time.Duration
+	shards  []*Shard
+	def     *Shard
 }
 
 // NewCollector returns a collector for the named workload.
 func NewCollector(name string) *Collector {
-	return &Collector{
-		name:     name,
-		lat:      make(map[string]*stats.LatencyHistogram),
-		counters: make(map[string]int64),
-	}
+	def := NewShard()
+	return &Collector{name: name, def: def, shards: []*Shard{def}}
 }
 
 // Name returns the workload name the collector was created with.
 func (c *Collector) Name() string { return c.name }
+
+// Shard mints a private recording shard merged into this collector's
+// snapshots. Each worker goroutine of a parallel stack should hold its own
+// shard so hot operation loops record without any shared-lock contention.
+func (c *Collector) Shard() *Shard {
+	s := NewShard()
+	c.mu.Lock()
+	c.shards = append(c.shards, s)
+	c.mu.Unlock()
+	return s
+}
+
+// SubstrateShard mints a shard for stack-internal measurement: merged into
+// snapshots like any other, but its latency observations do not count
+// toward Throughput (they echo work the workload already measures at its
+// own level). Stacks obtain one through SubstrateShardOf.
+func (c *Collector) SubstrateShard() *Shard {
+	s := NewShard()
+	s.substrate = true
+	c.mu.Lock()
+	c.shards = append(c.shards, s)
+	c.mu.Unlock()
+	return s
+}
 
 // Start marks the beginning of the measured interval.
 func (c *Collector) Start() {
@@ -57,14 +102,19 @@ func (c *Collector) Start() {
 	defer c.mu.Unlock()
 	c.start = time.Now()
 	c.started = true
+	c.stopped = false
+	c.elapsed = 0
 }
 
-// Stop marks the end of the measured interval.
+// Stop marks the end of the measured interval. Stop is idempotent: calls
+// after the first (without an intervening Start) leave the measured interval
+// unchanged instead of silently extending it.
 func (c *Collector) Stop() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.started {
+	if c.started && !c.stopped {
 		c.elapsed = time.Since(c.start)
+		c.stopped = true
 	}
 }
 
@@ -75,48 +125,54 @@ func (c *Collector) SetElapsed(d time.Duration) {
 	defer c.mu.Unlock()
 	c.elapsed = d
 	c.started = true
+	c.stopped = true
 }
 
-// Elapsed returns the measured wall time (zero until Stop or SetElapsed).
+// elapsedLocked returns the measured interval, reading the live clock for a
+// collector that is started but not yet stopped. Callers hold c.mu.
+func (c *Collector) elapsedLocked() time.Duration {
+	if c.started && !c.stopped {
+		return time.Since(c.start)
+	}
+	return c.elapsed
+}
+
+// Elapsed returns the measured wall time: the running interval so far for a
+// started collector, the frozen interval after Stop or SetElapsed, zero
+// before Start.
 func (c *Collector) Elapsed() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.elapsed
+	return c.elapsedLocked()
 }
 
 // ObserveLatency records one operation latency under the given operation
 // label ("read", "update", ...).
 func (c *Collector) ObserveLatency(op string, d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	h, ok := c.lat[op]
-	if !ok {
-		h = &stats.LatencyHistogram{}
-		c.lat[op] = h
-	}
-	h.Observe(d)
+	c.def.ObserveLatency(op, d)
 }
 
 // Add increments the named counter by delta. Counters capture architecture
 // metrics (records processed, bytes shuffled, messages sent, ...).
 func (c *Collector) Add(counter string, delta int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.counters[counter] += delta
+	c.def.Add(counter, delta)
 }
 
-// Counter returns the current value of a counter.
+// Counter returns the current value of a counter, summed across all shards.
 func (c *Collector) Counter(name string) int64 {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counters[name]
+	shards := append([]*Shard(nil), c.shards...)
+	c.mu.Unlock()
+	var total int64
+	for _, s := range shards {
+		total += s.Counter(name)
+	}
+	return total
 }
 
 // Timed runs f and records its duration under op.
 func (c *Collector) Timed(op string, f func()) {
-	t0 := time.Now()
-	f()
-	c.ObserveLatency(op, time.Since(t0))
+	c.def.Timed(op, f)
 }
 
 // OpStats summarizes the latency profile of one operation type.
@@ -128,6 +184,11 @@ type OpStats struct {
 	P95   time.Duration
 	P99   time.Duration
 	Max   time.Duration
+	// Substrate marks labels observed only by stack-internal shards
+	// (SubstrateShardOf): echoes underneath the workload's own
+	// measurements. Reports should prefer non-substrate ops when picking a
+	// representative latency profile.
+	Substrate bool
 }
 
 // Result is the immutable outcome of a measured workload execution.
@@ -147,47 +208,88 @@ type Result struct {
 	CostUSD      float64
 }
 
-// Snapshot freezes the collector into a Result. totalOps counts the
-// operations for throughput; if zero, the sum of latency observations is
-// used, and failing that the "records" counter.
+// Snapshot freezes the collector into a Result, merging every shard's
+// histograms and counters (a straight counts/sum/max fold over the fixed
+// bucket layout). It is safe to call while observations are still in flight
+// — including on a running collector, whose Elapsed and rates are then
+// computed over the interval so far rather than reported as zero.
+//
+// Throughput (user-perceivable family) is the workload-level
+// latency-observation count over the measured interval — substrate shards'
+// echoes are excluded — falling back to the "records" counter when no
+// latencies were recorded. MOPS (architecture family) is computed
+// independently from the ArchitectureCounters, so the two §3.1 families
+// never collapse into rescalings of each other.
 func (c *Collector) Snapshot() Result {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	r := Result{
-		Name:     c.name,
-		Elapsed:  c.elapsed,
-		Counters: make(map[string]int64, len(c.counters)),
+	elapsed := c.elapsedLocked()
+	shards := append([]*Shard(nil), c.shards...)
+	c.mu.Unlock()
+
+	// User-level and substrate-level observations merge into the same Ops
+	// list, but only user-level counts feed the Throughput total: substrate
+	// shards echo work the workload already measures once at its own level.
+	userLat := make(map[string]*stats.LatencyHistogram)
+	subLat := make(map[string]*stats.LatencyHistogram)
+	counters := make(map[string]int64)
+	for _, s := range shards {
+		if s.substrate {
+			s.drainLatencies(subLat)
+		} else {
+			s.drainLatencies(userLat)
+		}
+		s.drainCounters(counters)
 	}
-	for k, v := range c.counters {
-		r.Counters[k] = v
-	}
+
+	r := Result{Name: c.name, Elapsed: elapsed, Counters: counters}
 	var total uint64
-	ops := make([]string, 0, len(c.lat))
-	for op := range c.lat {
+	opSet := make(map[string]bool, len(userLat)+len(subLat))
+	for op := range userLat {
+		opSet[op] = true
+	}
+	for op := range subLat {
+		opSet[op] = true
+	}
+	ops := make([]string, 0, len(opSet))
+	for op := range opSet {
 		ops = append(ops, op)
 	}
 	sort.Strings(ops)
 	for _, op := range ops {
-		h := c.lat[op]
+		h := userLat[op]
+		substrate := h == nil
+		if substrate {
+			h = &stats.LatencyHistogram{}
+		}
 		total += h.Count()
+		if sub := subLat[op]; sub != nil {
+			h.Merge(sub)
+		}
 		r.Ops = append(r.Ops, OpStats{
-			Op:    op,
-			Count: h.Count(),
-			Mean:  h.Mean(),
-			P50:   h.Quantile(0.50),
-			P95:   h.Quantile(0.95),
-			P99:   h.Quantile(0.99),
-			Max:   h.Max(),
+			Op:        op,
+			Count:     h.Count(),
+			Mean:      h.Mean(),
+			P50:       h.Quantile(0.50),
+			P95:       h.Quantile(0.95),
+			P99:       h.Quantile(0.99),
+			Max:       h.Max(),
+			Substrate: substrate,
 		})
 	}
 	if total == 0 {
-		if rec := c.counters["records"]; rec > 0 {
+		if rec := counters["records"]; rec > 0 {
 			total = uint64(rec)
 		}
 	}
-	if c.elapsed > 0 && total > 0 {
-		r.Throughput = float64(total) / c.elapsed.Seconds()
-		r.MOPS = r.Throughput / 1e6
+	if elapsed > 0 && total > 0 {
+		r.Throughput = float64(total) / elapsed.Seconds()
+	}
+	var archOps int64
+	for _, name := range ArchitectureCounters {
+		archOps += counters[name]
+	}
+	if elapsed > 0 && archOps > 0 {
+		r.MOPS = float64(archOps) / elapsed.Seconds() / 1e6
 	}
 	return r
 }

@@ -84,6 +84,74 @@ func TestCollectorStartStop(t *testing.T) {
 	}
 }
 
+func TestStopIsIdempotent(t *testing.T) {
+	c := NewCollector("wl")
+	c.Start()
+	time.Sleep(5 * time.Millisecond)
+	c.Stop()
+	first := c.Elapsed()
+	time.Sleep(10 * time.Millisecond)
+	c.Stop() // must not silently extend the measured interval
+	if c.Elapsed() != first {
+		t.Fatalf("second Stop changed elapsed: %v -> %v", first, c.Elapsed())
+	}
+}
+
+func TestSnapshotWhileRunning(t *testing.T) {
+	c := NewCollector("wl")
+	c.ObserveLatency("op", time.Millisecond)
+	c.Start()
+	time.Sleep(5 * time.Millisecond)
+	r := c.Snapshot() // mid-run: no Stop yet
+	if r.Elapsed < time.Millisecond {
+		t.Fatalf("running snapshot elapsed %v, want the interval so far", r.Elapsed)
+	}
+	if r.Throughput <= 0 {
+		t.Fatalf("running snapshot throughput %v, want > 0", r.Throughput)
+	}
+	if c.Elapsed() < time.Millisecond {
+		t.Fatalf("running Elapsed %v, want > 0", c.Elapsed())
+	}
+}
+
+func TestMOPSFromArchitectureCounters(t *testing.T) {
+	c := NewCollector("wl")
+	// 1000 latency observations (user-perceivable family) but 4M abstract
+	// operations (architecture family).
+	for i := 0; i < 1000; i++ {
+		c.ObserveLatency("op", time.Microsecond)
+	}
+	c.Add("records", 3_000_000)
+	c.Add("bytes", 1_000_000)
+	c.Add("iterations", 500) // not an architecture counter
+	c.SetElapsed(2 * time.Second)
+	r := c.Snapshot()
+	if math.Abs(r.Throughput-500) > 1e-9 {
+		t.Fatalf("throughput %.3f, want 500 (latency observations)", r.Throughput)
+	}
+	if math.Abs(r.MOPS-2.0) > 1e-9 {
+		t.Fatalf("MOPS %.6f, want 2.0 (4M architecture ops / 2s / 1e6)", r.MOPS)
+	}
+	// The families must not be rescalings of each other.
+	if math.Abs(r.MOPS-r.Throughput/1e6) < 1e-9 {
+		t.Fatal("MOPS degenerated back into Throughput/1e6")
+	}
+}
+
+func TestMOPSZeroWithoutArchitectureCounters(t *testing.T) {
+	c := NewCollector("wl")
+	c.ObserveLatency("op", time.Microsecond)
+	c.Add("iterations", 8)
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	if r.Throughput <= 0 {
+		t.Fatal("throughput should still come from latency observations")
+	}
+	if r.MOPS != 0 {
+		t.Fatalf("MOPS %.9f, want 0 when no architecture counter was recorded", r.MOPS)
+	}
+}
+
 func TestTimed(t *testing.T) {
 	c := NewCollector("wl")
 	c.Timed("f", func() { time.Sleep(2 * time.Millisecond) })

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// Recorder is the write-side surface of the measurement pipeline: the two
+// §3.1 metric families a workload feeds while it runs — per-operation
+// latencies (user-perceivable) and abstract-operation counters
+// (architecture). Both *Collector and *Shard implement it, so stacks and
+// workloads can accept either a whole collector or a private shard.
+type Recorder interface {
+	ObserveLatency(op string, d time.Duration)
+	Add(counter string, delta int64)
+}
+
+// Sharder is implemented by recorders that can mint private shards.
+type Sharder interface {
+	Recorder
+	Shard() *Shard
+}
+
+// ShardOf returns a private shard minted from rec when rec supports
+// sharding, and rec itself otherwise (a *Shard is already a contention-free
+// handle; a nil Recorder stays nil). Worker goroutines call it once at
+// start-up so their hot loops record without touching shared state.
+func ShardOf(rec Recorder) Recorder {
+	if s, ok := rec.(Sharder); ok {
+		return s.Shard()
+	}
+	return rec
+}
+
+// SubstrateShardOf is ShardOf for stack-internal measurement: the minted
+// shard is marked as substrate-level, so its latency observations (per-task,
+// per-superstep, per-store-op echoes underneath a workload's own
+// measurements) appear in Result.Ops but are excluded from the Throughput
+// total, which must count each logical workload operation exactly once.
+func SubstrateShardOf(rec Recorder) Recorder {
+	if s, ok := rec.(interface{ SubstrateShard() *Shard }); ok {
+		return s.SubstrateShard()
+	}
+	return rec
+}
+
+// StartTimer reads the clock only when rec is non-nil — the zero-cost start
+// half of optional instrumentation. Pair with ObserveSince.
+func StartTimer(rec Recorder) (t time.Time) {
+	if rec != nil {
+		t = time.Now()
+	}
+	return t
+}
+
+// ObserveSince records the time elapsed since start under op, and is a
+// no-op when rec is nil. Together with StartTimer it is the one idiom every
+// stack uses for optional substrate measurement.
+func ObserveSince(rec Recorder, op string, start time.Time) {
+	if rec != nil {
+		rec.ObserveLatency(op, time.Since(start))
+	}
+}
+
+// latMap and ctrMap are the copy-on-write map types behind a shard. A
+// published map value is immutable: inserting a new operation or counter
+// label copies the map under the shard's mutex and atomically swaps the
+// pointer, so the lock-free fast path only ever reads frozen maps.
+type (
+	latMap map[string]*stats.AtomicLatencyHistogram
+	ctrMap map[string]*atomic.Int64
+)
+
+// Shard is a contention-free recording handle. Each worker goroutine of a
+// parallel stack obtains its own shard (Collector.Shard or ShardOf), so hot
+// operation loops never serialize on a shared lock: recording an observation
+// is a handful of atomic adds on cells private to the shard. Shards are
+// nevertheless safe for concurrent use — a snapshot may race with in-flight
+// observes and writers may share a shard — because every cell is atomic; the
+// per-shard mutex guards only the rare copy-on-write insertion of a new
+// operation or counter label.
+type Shard struct {
+	mu       sync.Mutex // serializes copy-on-write map growth only
+	lat      atomic.Pointer[latMap]
+	counters atomic.Pointer[ctrMap]
+	// substrate marks stack-internal shards whose latency observations are
+	// kept out of the Throughput total (see SubstrateShardOf).
+	substrate bool
+}
+
+// NewShard returns a free-standing shard, unattached to any collector.
+// Collector.Shard is the usual way to obtain one.
+func NewShard() *Shard { return &Shard{} }
+
+// ObserveLatency records one operation latency under the given operation
+// label ("read", "update", ...). Lock-free once the label exists.
+func (s *Shard) ObserveLatency(op string, d time.Duration) {
+	if m := s.lat.Load(); m != nil {
+		if h, ok := (*m)[op]; ok {
+			h.Observe(d)
+			return
+		}
+	}
+	s.latSlow(op).Observe(d)
+}
+
+// latSlow installs the histogram for a new operation label (copy-on-write).
+func (s *Shard) latSlow(op string) *stats.AtomicLatencyHistogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.lat.Load()
+	if old != nil {
+		if h, ok := (*old)[op]; ok {
+			return h
+		}
+	}
+	next := make(latMap, 1+lenOf(old))
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	h := &stats.AtomicLatencyHistogram{}
+	next[op] = h
+	s.lat.Store(&next)
+	return h
+}
+
+// Add increments the named counter by delta. Counters capture architecture
+// metrics (records processed, bytes shuffled, messages sent, ...).
+// Lock-free once the label exists.
+func (s *Shard) Add(counter string, delta int64) {
+	if m := s.counters.Load(); m != nil {
+		if c, ok := (*m)[counter]; ok {
+			c.Add(delta)
+			return
+		}
+	}
+	s.counterSlow(counter).Add(delta)
+}
+
+// counterSlow installs the cell for a new counter label (copy-on-write).
+func (s *Shard) counterSlow(counter string) *atomic.Int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.counters.Load()
+	if old != nil {
+		if c, ok := (*old)[counter]; ok {
+			return c
+		}
+	}
+	next := make(ctrMap, 1+lenOf(old))
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	c := &atomic.Int64{}
+	next[counter] = c
+	s.counters.Store(&next)
+	return c
+}
+
+// Counter returns the shard-local value of a counter.
+func (s *Shard) Counter(name string) int64 {
+	if m := s.counters.Load(); m != nil {
+		if c, ok := (*m)[name]; ok {
+			return c.Load()
+		}
+	}
+	return 0
+}
+
+// Timed runs f and records its duration under op.
+func (s *Shard) Timed(op string, f func()) {
+	t0 := time.Now()
+	f()
+	s.ObserveLatency(op, time.Since(t0))
+}
+
+// drainLatencies folds the shard's histograms into dst, minting plain
+// histograms on demand.
+func (s *Shard) drainLatencies(dst map[string]*stats.LatencyHistogram) {
+	m := s.lat.Load()
+	if m == nil {
+		return
+	}
+	for op, ah := range *m {
+		snap := ah.Snapshot()
+		if h, ok := dst[op]; ok {
+			h.Merge(snap)
+		} else {
+			dst[op] = snap
+		}
+	}
+}
+
+// drainCounters folds the shard's counters into dst.
+func (s *Shard) drainCounters(dst map[string]int64) {
+	m := s.counters.Load()
+	if m == nil {
+		return
+	}
+	for name, c := range *m {
+		dst[name] += c.Load()
+	}
+}
+
+func lenOf[M ~map[string]V, V any](m *M) int {
+	if m == nil {
+		return 0
+	}
+	return len(*m)
+}
+
+var (
+	_ Recorder = (*Shard)(nil)
+	_ Recorder = (*Collector)(nil)
+	_ Sharder  = (*Collector)(nil)
+)

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardedWritersMatchSequentialBaseline: N goroutines recording into
+// private shards produce a merged snapshot identical (counts, counters,
+// means) to one goroutine recording the same observations sequentially.
+func TestShardedWritersMatchSequentialBaseline(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	sharded := NewCollector("sharded")
+	baseline := NewCollector("baseline")
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := sharded.Shard()
+			for i := 0; i < perWorker; i++ {
+				s.ObserveLatency("op", time.Duration(i%100)*time.Microsecond)
+				s.ObserveLatency(fmt.Sprintf("op-%d", w%2), time.Microsecond)
+				s.Add("records", 1)
+				s.Add("bytes", 64)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			baseline.ObserveLatency("op", time.Duration(i%100)*time.Microsecond)
+			baseline.ObserveLatency(fmt.Sprintf("op-%d", w%2), time.Microsecond)
+			baseline.Add("records", 1)
+			baseline.Add("bytes", 64)
+		}
+	}
+	sharded.SetElapsed(time.Second)
+	baseline.SetElapsed(time.Second)
+	sr, br := sharded.Snapshot(), baseline.Snapshot()
+
+	if len(sr.Ops) != len(br.Ops) {
+		t.Fatalf("op sets differ: %d vs %d", len(sr.Ops), len(br.Ops))
+	}
+	for i := range sr.Ops {
+		s, b := sr.Ops[i], br.Ops[i]
+		if s.Op != b.Op || s.Count != b.Count || s.Mean != b.Mean || s.Max != b.Max ||
+			s.P50 != b.P50 || s.P95 != b.P95 || s.P99 != b.P99 {
+			t.Fatalf("op %q differs: sharded %+v baseline %+v", s.Op, s, b)
+		}
+	}
+	for k, v := range br.Counters {
+		if sr.Counters[k] != v {
+			t.Fatalf("counter %s: %d, want %d", k, sr.Counters[k], v)
+		}
+	}
+	if sr.Throughput != br.Throughput || sr.MOPS != br.MOPS {
+		t.Fatalf("rates differ: %v/%v vs %v/%v", sr.Throughput, sr.MOPS, br.Throughput, br.MOPS)
+	}
+}
+
+// TestSnapshotRacesWithObserves drives Snapshot concurrently with in-flight
+// shard and facade writes; -race must stay clean and every cut must be
+// internally consistent.
+func TestSnapshotRacesWithObserves(t *testing.T) {
+	c := NewCollector("racing")
+	c.Start()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var rec Recorder = c
+			if w%2 == 0 {
+				rec = c.Shard()
+			}
+			// At least one observation per writer, even if the snapshot
+			// loop finishes before this goroutine is first scheduled.
+			rec.ObserveLatency("read", time.Microsecond)
+			rec.Add("records", 1)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					rec.ObserveLatency("read", time.Duration(i%1000)*time.Microsecond)
+					rec.Add("records", 1)
+				}
+			}
+		}(w)
+	}
+	var last uint64
+	for i := 0; i < 100; i++ {
+		r := c.Snapshot()
+		if r.Elapsed <= 0 {
+			t.Fatal("running collector reported zero elapsed")
+		}
+		var count uint64
+		for _, op := range r.Ops {
+			count += op.Count
+		}
+		if count < last {
+			t.Fatalf("observation count went backwards: %d -> %d", last, count)
+		}
+		last = count
+	}
+	close(stop)
+	wg.Wait()
+	c.Stop()
+	final := c.Snapshot()
+	if uint64(final.Counters["records"]) != final.Ops[0].Count {
+		t.Fatalf("final counters %d != observations %d", final.Counters["records"], final.Ops[0].Count)
+	}
+}
+
+// TestShardOf: collectors mint fresh shards, shards pass through, nil stays
+// nil-ish.
+func TestShardOf(t *testing.T) {
+	c := NewCollector("wl")
+	h := ShardOf(c)
+	if _, ok := h.(*Shard); !ok {
+		t.Fatalf("ShardOf(collector) = %T, want *Shard", h)
+	}
+	s := NewShard()
+	if ShardOf(s) != Recorder(s) {
+		t.Fatal("ShardOf(shard) should return the shard itself")
+	}
+	h.ObserveLatency("op", time.Millisecond)
+	h.Add("records", 3)
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	if len(r.Ops) != 1 || r.Ops[0].Count != 1 || r.Counters["records"] != 3 {
+		t.Fatalf("shard writes not merged: %+v", r)
+	}
+}
+
+// TestSubstrateShardsExcludedFromThroughput: substrate-level echoes (stack
+// instrumentation underneath a workload's own measurements) show up in Ops
+// but must not inflate the user-perceivable Throughput.
+func TestSubstrateShardsExcludedFromThroughput(t *testing.T) {
+	c := NewCollector("wl")
+	for i := 0; i < 100; i++ {
+		c.ObserveLatency("read", time.Microsecond) // workload level
+	}
+	sub := SubstrateShardOf(c)
+	if s, ok := sub.(*Shard); !ok || !s.substrate {
+		t.Fatalf("SubstrateShardOf(collector) = %T, want substrate *Shard", sub)
+	}
+	for i := 0; i < 100; i++ {
+		sub.ObserveLatency("kv_read", time.Microsecond) // store-level echo
+		sub.ObserveLatency("read", time.Microsecond)    // same label, substrate side
+	}
+	sub.Add("bytes", 4096)
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	if math.Abs(r.Throughput-100) > 1e-9 {
+		t.Fatalf("throughput %.3f, want 100 (substrate echoes must not count)", r.Throughput)
+	}
+	counts := map[string]uint64{}
+	for _, op := range r.Ops {
+		counts[op.Op] = op.Count
+	}
+	// Ops still report everything, merged across levels.
+	if counts["kv_read"] != 100 || counts["read"] != 200 {
+		t.Fatalf("ops %v, want kv_read=100 read=200", counts)
+	}
+	// Substrate counters still merge normally (architecture family).
+	if r.Counters["bytes"] != 4096 {
+		t.Fatalf("substrate counter lost: %v", r.Counters)
+	}
+	if s := NewShard(); SubstrateShardOf(s) != Recorder(s) {
+		t.Fatal("SubstrateShardOf(shard) should return the shard itself")
+	}
+}
+
+// TestShardCounterAndTimed covers the shard-local helpers.
+func TestShardCounterAndTimed(t *testing.T) {
+	s := NewShard()
+	s.Add("n", 2)
+	s.Add("n", 3)
+	if s.Counter("n") != 5 {
+		t.Fatalf("shard counter %d, want 5", s.Counter("n"))
+	}
+	if s.Counter("absent") != 0 {
+		t.Fatal("absent counter should read zero")
+	}
+	s.Timed("f", func() { time.Sleep(2 * time.Millisecond) })
+	c := NewCollector("wl")
+	c.mu.Lock()
+	c.shards = append(c.shards, s)
+	c.mu.Unlock()
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	if r.Ops[0].Op != "f" || r.Ops[0].Count != 1 || r.Ops[0].Mean < time.Millisecond {
+		t.Fatalf("Timed not recorded: %+v", r.Ops)
+	}
+}

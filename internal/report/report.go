@@ -118,15 +118,26 @@ func FormatSeries(s Series) string {
 }
 
 // ResultRows converts workload results into table rows: name, elapsed,
-// throughput, p50/p99 of the dominant operation.
+// throughput, p50/p99 of the dominant operation. Substrate echoes (stack
+// instrumentation underneath the workload's own measurements) are skipped
+// when picking the dominant op unless no workload-level op exists, so the
+// latency columns describe what the workload's user perceives.
 func ResultRows(results []metrics.Result) [][]string {
 	rows := make([][]string, 0, len(results))
 	for _, r := range results {
 		p50, p99 := "-", "-"
 		var dominant *metrics.OpStats
 		for i := range r.Ops {
-			if dominant == nil || r.Ops[i].Count > dominant.Count {
-				dominant = &r.Ops[i]
+			op := &r.Ops[i]
+			switch {
+			case dominant == nil:
+				dominant = op
+			case dominant.Substrate != op.Substrate:
+				if dominant.Substrate {
+					dominant = op
+				}
+			case op.Count > dominant.Count:
+				dominant = op
 			}
 		}
 		if dominant != nil {

@@ -85,6 +85,34 @@ func TestResultRows(t *testing.T) {
 	}
 }
 
+func TestResultRowsPreferWorkloadOpsOverSubstrate(t *testing.T) {
+	// A substrate echo with a higher count must not shadow the workload-level
+	// op in the p50/p99 columns.
+	c := metrics.NewCollector("wl")
+	for i := 0; i < 10; i++ {
+		c.ObserveLatency("read", 4*time.Millisecond)
+	}
+	sub := metrics.SubstrateShardOf(c)
+	for i := 0; i < 100; i++ {
+		sub.ObserveLatency("db_execute", 9*time.Second)
+	}
+	c.SetElapsed(time.Second)
+	rows := ResultRows([]metrics.Result{c.Snapshot()})
+	p50, err := time.ParseDuration(rows[0][3])
+	if err != nil || p50 > 100*time.Millisecond {
+		t.Fatalf("p50 column %q, want the ~4ms workload-level op, not the 9s substrate echo", rows[0][3])
+	}
+	// With only substrate ops recorded, fall back to them rather than dashes.
+	onlySub := metrics.NewCollector("subonly")
+	s := metrics.SubstrateShardOf(onlySub)
+	s.ObserveLatency("map_task", 2*time.Millisecond)
+	onlySub.SetElapsed(time.Second)
+	rows = ResultRows([]metrics.Result{onlySub.Snapshot()})
+	if _, err := time.ParseDuration(rows[0][3]); err != nil {
+		t.Fatalf("substrate-only p50 %q, want a duration fallback, not dashes", rows[0][3])
+	}
+}
+
 func TestJSON(t *testing.T) {
 	out, err := JSON(map[string]int{"a": 1})
 	if err != nil {

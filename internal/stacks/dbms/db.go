@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"github.com/bdbench/bdbench/internal/data"
+	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
 )
 
@@ -20,6 +21,7 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
+	rec    metrics.Recorder
 }
 
 type table struct {
@@ -32,6 +34,15 @@ type table struct {
 // Open returns an empty database.
 func Open() *DB {
 	return &DB{tables: make(map[string]*table)}
+}
+
+// Instrument attaches a measurement recorder and returns the database.
+// Executor-level wall times ("db_execute", "db_load", "db_index") are
+// recorded into a private shard minted from rec, underneath whatever the
+// calling workload measures itself.
+func (db *DB) Instrument(rec metrics.Recorder) *DB {
+	db.rec = metrics.SubstrateShardOf(rec)
+	return db
 }
 
 // Name implements stacks.Stack.
@@ -122,6 +133,8 @@ func (db *DB) Insert(name string, rows ...data.Row) error {
 
 // Load creates the table if necessary and bulk-inserts the data.
 func (db *DB) Load(src *data.Table) error {
+	t0 := metrics.StartTimer(db.rec)
+	defer metrics.ObserveSince(db.rec, "db_load", t0)
 	if _, err := db.table(src.Schema.Name); err != nil {
 		if err := db.CreateTable(src.Schema); err != nil {
 			return err
@@ -133,6 +146,8 @@ func (db *DB) Load(src *data.Table) error {
 // CreateIndex builds a hash index on the column, used by equality
 // predicates.
 func (db *DB) CreateIndex(tableName, col string) error {
+	t0 := metrics.StartTimer(db.rec)
+	defer metrics.ObserveSince(db.rec, "db_index", t0)
 	t, err := db.table(tableName)
 	if err != nil {
 		return err

@@ -1,0 +1,44 @@
+package dbms
+
+import (
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/data"
+	"github.com/bdbench/bdbench/internal/datagen/tablegen"
+	"github.com/bdbench/bdbench/internal/metrics"
+)
+
+// TestInstrumentRecordsExecutorOps: an instrumented DB mirrors loads, index
+// builds and query executions into db_* latencies.
+func TestInstrumentRecordsExecutorOps(t *testing.T) {
+	c := metrics.NewCollector("db")
+	db := Open().Instrument(c)
+	if err := db.Load(tablegen.ReferenceTable(1, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("orders", "order_id"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Execute(Query{
+			From:  "orders",
+			Where: []Pred{{Col: "order_id", Op: OpEq, Val: data.Int(int64(i + 1))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetElapsed(1)
+	counts := map[string]uint64{}
+	for _, op := range c.Snapshot().Ops {
+		counts[op.Op] = op.Count
+	}
+	if counts["db_load"] != 1 {
+		t.Fatalf("db_load %d, want 1", counts["db_load"])
+	}
+	if counts["db_index"] != 1 {
+		t.Fatalf("db_index %d, want 1", counts["db_index"])
+	}
+	if counts["db_execute"] != 3 {
+		t.Fatalf("db_execute %d, want 3", counts["db_execute"])
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/bdbench/bdbench/internal/datagen/graphgen"
+	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
 )
 
@@ -72,6 +73,7 @@ type Result struct {
 // Engine executes programs with a fixed worker pool.
 type Engine struct {
 	workers int
+	rec     metrics.Recorder
 }
 
 // New returns an engine with the given parallelism (clamped to >= 1).
@@ -80,6 +82,15 @@ func New(workers int) *Engine {
 		workers = 1
 	}
 	return &Engine{workers: workers}
+}
+
+// Instrument attaches a measurement recorder and returns the engine. Each
+// BSP worker records its per-superstep compute wall time into a private
+// shard minted from rec, and the coordinator records whole-superstep wall
+// times, all without shared-lock contention on the compute path.
+func (e *Engine) Instrument(rec metrics.Recorder) *Engine {
+	e.rec = rec
+	return e
 }
 
 // Name implements stacks.Stack.
@@ -110,8 +121,22 @@ func (e *Engine) Run(g *graphgen.Graph, prog Program, maxSupersteps int) (Result
 	var totalMsgs int64
 	start := time.Now()
 
+	// One private shard per worker, reused across supersteps: only worker w
+	// touches workerShards[w] during a superstep, so compute-time recording
+	// never contends.
+	var workerShards []metrics.Recorder
+	var coord metrics.Recorder
+	if e.rec != nil {
+		coord = metrics.SubstrateShardOf(e.rec)
+		workerShards = make([]metrics.Recorder, e.workers)
+		for w := range workerShards {
+			workerShards[w] = metrics.SubstrateShardOf(e.rec)
+		}
+	}
+
 	res := Result{}
 	for step := 0; step < maxSupersteps; step++ {
+		stepStart := metrics.StartTimer(coord)
 		active := false
 		// Partition vertices across workers; each worker accumulates its
 		// own outboxes to avoid contention, merged after the barrier.
@@ -125,6 +150,12 @@ func (e *Engine) Run(g *graphgen.Graph, prog Program, maxSupersteps int) (Result
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				var rec metrics.Recorder
+				if workerShards != nil {
+					rec = workerShards[w]
+				}
+				computeStart := metrics.StartTimer(rec)
+				defer metrics.ObserveSince(rec, "compute", computeStart)
 				lo := n * int64(w) / int64(e.workers)
 				hi := n * int64(w+1) / int64(e.workers)
 				ctx := Context{superstep: step, numVerts: n}
@@ -163,6 +194,7 @@ func (e *Engine) Run(g *graphgen.Graph, prog Program, maxSupersteps int) (Result
 		}
 		totalMsgs += delivered
 		res.Supersteps = step + 1
+		metrics.ObserveSince(coord, "superstep", stepStart)
 		if !active && delivered == 0 {
 			res.Halted = true
 			break

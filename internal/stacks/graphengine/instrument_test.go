@@ -1,0 +1,42 @@
+package graphengine
+
+import (
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/datagen/graphgen"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// TestInstrumentRecordsSupersteps: an instrumented engine observes one
+// "superstep" latency per executed superstep and workers*supersteps
+// per-worker "compute" latencies.
+func TestInstrumentRecordsSupersteps(t *testing.T) {
+	g := graphgen.DefaultRMAT.Generate(stats.NewRNG(3), 8)
+	c := metrics.NewCollector("bsp")
+	eng := New(2).Instrument(c)
+	const steps = 5
+	res, err := eng.Run(g, PageRank{}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetElapsed(1)
+	counts := map[string]uint64{}
+	for _, op := range c.Snapshot().Ops {
+		counts[op.Op] = op.Count
+	}
+	if counts["superstep"] != uint64(res.Supersteps) {
+		t.Fatalf("superstep observations %d, want %d", counts["superstep"], res.Supersteps)
+	}
+	if counts["compute"] != uint64(2*res.Supersteps) {
+		t.Fatalf("compute observations %d, want %d", counts["compute"], 2*res.Supersteps)
+	}
+}
+
+// TestUninstrumentedGraphEngine keeps the default path metric-free.
+func TestUninstrumentedGraphEngine(t *testing.T) {
+	g := graphgen.DefaultRMAT.Generate(stats.NewRNG(4), 8)
+	if _, err := New(2).Run(g, PageRank{}, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package mapreduce
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+)
+
+// TestInstrumentRecordsTaskLatencies: an instrumented engine reports one
+// map_task observation per mapper and one reduce_task per reducer, recorded
+// through per-task shards.
+func TestInstrumentRecordsTaskLatencies(t *testing.T) {
+	input := make([]KV, 100)
+	for i := range input {
+		input[i] = KV{Key: strconv.Itoa(i), Value: "a b c"}
+	}
+	c := metrics.NewCollector("mr")
+	eng := New(4).Instrument(c)
+	job := Job{
+		Name: "wc",
+		Map: func(_, v string, emit func(k, v string)) {
+			for _, w := range strings.Fields(v) {
+				emit(w, "1")
+			}
+		},
+		Reduce:      func(k string, vs []string, emit func(k, v string)) { emit(k, strconv.Itoa(len(vs))) },
+		NumMappers:  3,
+		NumReducers: 2,
+	}
+	if _, _, err := eng.Run(job, input); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]uint64{}
+	for _, op := range snapshotOps(c) {
+		counts[op.Op] = op.Count
+	}
+	if counts["map_task"] != 3 {
+		t.Fatalf("map_task observations %d, want 3", counts["map_task"])
+	}
+	if counts["reduce_task"] != 2 {
+		t.Fatalf("reduce_task observations %d, want 2", counts["reduce_task"])
+	}
+}
+
+// TestUninstrumentedEngineRecordsNothing: without Instrument the engine must
+// not observe anything (and must not crash trying).
+func TestUninstrumentedEngineRecordsNothing(t *testing.T) {
+	input := []KV{{Key: "1", Value: "x"}}
+	eng := New(2)
+	if _, _, err := eng.Run(Job{Name: "id", Map: func(k, v string, emit func(k, v string)) { emit(k, v) }}, input); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func snapshotOps(c *metrics.Collector) []metrics.OpStats {
+	c.SetElapsed(1)
+	return c.Snapshot().Ops
+}

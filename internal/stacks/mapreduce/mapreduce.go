@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
 	"github.com/bdbench/bdbench/internal/stats"
 )
@@ -73,6 +74,7 @@ type Stats struct {
 // Engine is a simulated cluster with a fixed worker pool.
 type Engine struct {
 	workers int
+	rec     metrics.Recorder
 }
 
 // New returns an engine with the given parallelism (clamped to >= 1).
@@ -81,6 +83,16 @@ func New(workers int) *Engine {
 		workers = 1
 	}
 	return &Engine{workers: workers}
+}
+
+// Instrument attaches a measurement recorder and returns the engine. Each
+// run mints one substrate shard per worker slot (when rec can shard) and
+// map/reduce tasks record their per-task wall times into the shard of the
+// slot they run on, so task-level measurement adds no shared-lock
+// contention to the job's hot path.
+func (e *Engine) Instrument(rec metrics.Recorder) *Engine {
+	e.rec = rec
+	return e
 }
 
 // Name implements stacks.Stack.
@@ -122,19 +134,39 @@ func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
 	var st Stats
 	st.MapInputRecords = int64(len(input))
 
+	// One substrate shard per worker slot, shared by map and reduce phases:
+	// tasks acquire a slot before running, so a shard never has two
+	// concurrent writers and the shard count is bounded by the worker pool,
+	// not by the task count.
+	slots := make(chan int, e.workers)
+	for i := 0; i < e.workers; i++ {
+		slots <- i
+	}
+	var shards []metrics.Recorder
+	if e.rec != nil {
+		shards = make([]metrics.Recorder, e.workers)
+		for i := range shards {
+			shards[i] = metrics.SubstrateShardOf(e.rec)
+		}
+	}
+
 	// ---- Map phase: each mapper owns a split and emits into
 	// per-partition buffers.
 	mapStart := time.Now()
 	mapOut := make([][][]KV, numMappers) // mapper -> partition -> records
 	var mapOutCount, combineOutCount int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers)
 	for m := 0; m < numMappers; m++ {
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			slot := <-slots
+			defer func() { slots <- slot }()
+			var rec metrics.Recorder
+			if shards != nil {
+				rec = shards[slot]
+			}
+			taskStart := metrics.StartTimer(rec)
 			lo := len(input) * m / numMappers
 			hi := len(input) * (m + 1) / numMappers
 			buckets := make([][]KV, numReducers)
@@ -153,6 +185,7 @@ func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
 				}
 			}
 			mapOut[m] = buckets
+			metrics.ObserveSince(rec, "map_task", taskStart)
 		}(m)
 	}
 	wg.Wait()
@@ -199,8 +232,13 @@ func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			slot := <-slots
+			defer func() { slots <- slot }()
+			var rec metrics.Recorder
+			if shards != nil {
+				rec = shards[slot]
+			}
+			taskStart := metrics.StartTimer(rec)
 			part := partitions[p]
 			var out []KV
 			emit := func(k, v string) { out = append(out, KV{k, v}) }
@@ -218,6 +256,7 @@ func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
 				i = j
 			}
 			reduceOut[p] = out
+			metrics.ObserveSince(rec, "reduce_task", taskStart)
 		}(p)
 	}
 	wg.Wait()

@@ -1,0 +1,59 @@
+package nosql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+)
+
+// TestInstrumentRecordsStoreOps: an instrumented store mirrors every
+// operation into per-partition shards under kv_* labels, exactly once per
+// call, even with concurrent clients.
+func TestInstrumentRecordsStoreOps(t *testing.T) {
+	c := metrics.NewCollector("kv")
+	store := Open(4, 1).Instrument(c)
+	const clients, perClient = 4, 200
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				key := fmt.Sprintf("user%03d-%03d", cl, i)
+				store.Insert(key, Record{"f": "v"})
+				if _, err := store.Read(key, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	store.Scan("user", 10)
+	c.SetElapsed(1)
+	counts := map[string]uint64{}
+	for _, op := range c.Snapshot().Ops {
+		counts[op.Op] = op.Count
+	}
+	if counts["kv_insert"] != clients*perClient {
+		t.Fatalf("kv_insert %d, want %d", counts["kv_insert"], clients*perClient)
+	}
+	if counts["kv_read"] != clients*perClient {
+		t.Fatalf("kv_read %d, want %d", counts["kv_read"], clients*perClient)
+	}
+	if counts["kv_scan"] != 1 {
+		t.Fatalf("kv_scan %d, want 1", counts["kv_scan"])
+	}
+}
+
+// TestUninstrumentedStoreRecordsNothing keeps the default path metric-free.
+func TestUninstrumentedStoreRecordsNothing(t *testing.T) {
+	store := Open(2, 1)
+	store.Insert("k", Record{"f": "v"})
+	if _, err := store.Read("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	store.Scan("k", 5)
+}

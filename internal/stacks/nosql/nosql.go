@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
 	"github.com/bdbench/bdbench/internal/stats"
 )
@@ -35,12 +36,14 @@ var ErrNotFound = errors.New("nosql: key not found")
 
 // Store is the partitioned KV store.
 type Store struct {
-	parts []*partition
+	parts   []*partition
+	scanRec metrics.Recorder
 }
 
 type partition struct {
 	mu   sync.RWMutex
 	list *skipList
+	rec  metrics.Recorder
 }
 
 // Open creates a store with the given partition count (clamped to >= 1).
@@ -66,6 +69,19 @@ func (s *Store) Type() stacks.Type { return stacks.TypeNoSQL }
 
 var _ stacks.Stack = (*Store)(nil)
 
+// Instrument attaches a measurement recorder and returns the store. Each
+// partition mints a private shard from rec and records its store-level
+// operation latencies ("kv_read", "kv_insert", ...) there, mirroring the
+// store's own contention domains: clients hitting different partitions
+// never share a measurement cell either.
+func (s *Store) Instrument(rec metrics.Recorder) *Store {
+	for _, p := range s.parts {
+		p.rec = metrics.SubstrateShardOf(rec)
+	}
+	s.scanRec = metrics.SubstrateShardOf(rec)
+	return s
+}
+
 func (s *Store) part(key string) *partition {
 	return s.parts[stats.FNV64(key)%uint64(len(s.parts))]
 }
@@ -73,22 +89,27 @@ func (s *Store) part(key string) *partition {
 // Insert stores a full record under key, replacing any existing record.
 func (s *Store) Insert(key string, rec Record) {
 	p := s.part(key)
+	t0 := metrics.StartTimer(p.rec)
 	p.mu.Lock()
 	p.list.set(key, rec.clone())
 	p.mu.Unlock()
+	metrics.ObserveSince(p.rec, "kv_insert", t0)
 }
 
 // Read returns the record's requested fields (all when fields is nil).
 func (s *Store) Read(key string, fields []string) (Record, error) {
 	p := s.part(key)
+	t0 := metrics.StartTimer(p.rec)
 	p.mu.RLock()
 	rec, ok := p.list.get(key)
 	if !ok {
 		p.mu.RUnlock()
+		metrics.ObserveSince(p.rec, "kv_read", t0)
 		return nil, ErrNotFound
 	}
 	out := projectFields(rec, fields)
 	p.mu.RUnlock()
+	metrics.ObserveSince(p.rec, "kv_read", t0)
 	return out, nil
 }
 
@@ -108,6 +129,8 @@ func projectFields(rec Record, fields []string) Record {
 // Update merges the given fields into an existing record.
 func (s *Store) Update(key string, fields Record) error {
 	p := s.part(key)
+	t0 := metrics.StartTimer(p.rec)
+	defer metrics.ObserveSince(p.rec, "kv_update", t0)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	rec, ok := p.list.get(key)
@@ -125,6 +148,8 @@ func (s *Store) Update(key string, fields Record) error {
 // Delete removes a key.
 func (s *Store) Delete(key string) error {
 	p := s.part(key)
+	t0 := metrics.StartTimer(p.rec)
+	defer metrics.ObserveSince(p.rec, "kv_delete", t0)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.list.del(key) {
@@ -137,6 +162,8 @@ func (s *Store) Delete(key string) error {
 // result back atomically with respect to the key's partition.
 func (s *Store) ReadModifyWrite(key string, fn func(Record) Record) error {
 	p := s.part(key)
+	t0 := metrics.StartTimer(p.rec)
+	defer metrics.ObserveSince(p.rec, "kv_rmw", t0)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	rec, ok := p.list.get(key)
@@ -159,6 +186,8 @@ func (s *Store) Scan(start string, limit int) []KV {
 	if limit <= 0 {
 		return nil
 	}
+	t0 := metrics.StartTimer(s.scanRec)
+	defer metrics.ObserveSince(s.scanRec, "kv_scan", t0)
 	var all []KV
 	for _, p := range s.parts {
 		p.mu.RLock()

@@ -8,10 +8,12 @@
 package streaming
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/bdbench/bdbench/internal/datagen/streamgen"
+	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
 )
 
@@ -199,6 +201,7 @@ func (s SlidingWindow) Run(in <-chan Msg, out chan<- Msg) {
 // Engine wires stages into a pipeline and runs it.
 type Engine struct {
 	buffer int
+	rec    metrics.Recorder
 }
 
 // New returns an engine whose inter-stage channels buffer the given number
@@ -208,6 +211,15 @@ func New(buffer int) *Engine {
 		buffer = 1
 	}
 	return &Engine{buffer: buffer}
+}
+
+// Instrument attaches a measurement recorder and returns the engine. Each
+// pipeline stage goroutine records its wall time (source open to sink
+// close, which includes backpressure stalls) into a private shard minted
+// from rec, keeping measurement off the per-message hot path.
+func (e *Engine) Instrument(rec metrics.Recorder) *Engine {
+	e.rec = rec
+	return e
 }
 
 // Name implements stacks.Stack.
@@ -242,15 +254,27 @@ func (e *Engine) Run(events []streamgen.Event, stages ...Stage) Result {
 		}
 	}()
 	in := (<-chan Msg)(src)
+	var stageWG sync.WaitGroup
 	for _, st := range stages {
 		out := make(chan Msg, e.buffer)
-		go st.Run(in, out)
+		stageWG.Add(1)
+		go func(st Stage, in <-chan Msg, out chan<- Msg) {
+			defer stageWG.Done()
+			shard := metrics.SubstrateShardOf(e.rec)
+			stageStart := metrics.StartTimer(shard)
+			st.Run(in, out)
+			metrics.ObserveSince(shard, "stage:"+st.Name(), stageStart)
+		}(st, in, out)
 		in = out
 	}
 	var collected []Msg
 	for m := range in {
 		collected = append(collected, m)
 	}
+	// Join the stage goroutines: a stage observes its wall time after its
+	// deferred close(out), so without this wait the final observation could
+	// race with (or be missed by) the caller's snapshot.
+	stageWG.Wait()
 	wall := time.Since(start)
 	r := Result{
 		In:        int64(len(events)),

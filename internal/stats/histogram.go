@@ -8,8 +8,10 @@ import (
 )
 
 // Histogram is a fixed-width binned histogram over [Min, Max). Values below
-// Min land in the first bin, values at or above Max in the last. It is the
-// workhorse behind per-column table statistics and distribution comparison.
+// Min and at or above Max are tallied separately (Under, Over) rather than
+// folded into the edge bins, so the bin counts describe only the histogram's
+// actual domain. It is the workhorse behind per-column table statistics and
+// distribution comparison.
 type Histogram struct {
 	Min, Max float64
 	Counts   []uint64
@@ -30,17 +32,16 @@ func NewHistogram(min, max float64, bins int) *Histogram {
 	return &Histogram{Min: min, Max: max, Counts: make([]uint64, bins)}
 }
 
-// Observe records one value.
+// Observe records one value. Out-of-range values are counted in Under/Over
+// instead of polluting the first/last bins.
 func (h *Histogram) Observe(v float64) {
 	h.total++
 	if v < h.Min {
 		h.under++
-		h.Counts[0]++
 		return
 	}
 	if v >= h.Max {
 		h.over++
-		h.Counts[len(h.Counts)-1]++
 		return
 	}
 	idx := int((v - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
@@ -50,28 +51,65 @@ func (h *Histogram) Observe(v float64) {
 	h.Counts[idx]++
 }
 
-// Total returns the number of observed values.
+// Total returns the number of observed values, including out-of-range ones.
 func (h *Histogram) Total() uint64 { return h.total }
 
-// Probabilities returns the normalized bin frequencies. If the histogram is
-// empty it returns a uniform distribution, which keeps divergence
-// computations well-defined for degenerate inputs.
+// Under returns the number of observations below Min.
+func (h *Histogram) Under() uint64 { return h.under }
+
+// Over returns the number of observations at or above Max.
+func (h *Histogram) Over() uint64 { return h.over }
+
+// InRange returns the number of observations inside [Min, Max).
+func (h *Histogram) InRange() uint64 { return h.total - h.under - h.over }
+
+// Probabilities returns the bin frequencies normalized over the in-range
+// observations, so the vector is a proper distribution over the histogram's
+// domain regardless of out-of-range mass. If no observation landed in range
+// it returns a uniform distribution, which keeps divergence computations
+// well-defined for degenerate inputs.
 func (h *Histogram) Probabilities() []float64 {
 	p := make([]float64, len(h.Counts))
-	if h.total == 0 {
+	inRange := h.InRange()
+	if inRange == 0 {
 		for i := range p {
 			p[i] = 1 / float64(len(p))
 		}
 		return p
 	}
 	for i, c := range h.Counts {
-		p[i] = float64(c) / float64(h.total)
+		p[i] = float64(c) / float64(inRange)
 	}
 	return p
 }
 
+// ExtendedProbabilities returns the distribution over bins+2 cells: the
+// under-range mass first, the bin frequencies, then the over-range mass, all
+// normalized by the total observation count. Unlike Probabilities it
+// accounts for every observation, so comparing two histograms with the same
+// bounds also penalizes mass that fell outside them. Empty histograms yield
+// a uniform vector.
+func (h *Histogram) ExtendedProbabilities() []float64 {
+	p := make([]float64, len(h.Counts)+2)
+	if h.total == 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(p))
+		}
+		return p
+	}
+	p[0] = float64(h.under) / float64(h.total)
+	for i, c := range h.Counts {
+		p[i+1] = float64(c) / float64(h.total)
+	}
+	p[len(p)-1] = float64(h.over) / float64(h.total)
+	return p
+}
+
 // Quantile returns an estimate of the q-quantile (0 <= q <= 1) by linear
-// interpolation within the containing bin.
+// interpolation within the containing bin. The rank is taken over all
+// observations including out-of-range ones: a quantile falling in the
+// under-range (over-range) mass is reported as Min (Max), the tightest
+// bound the histogram can state for values it has no bins for.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return math.NaN()
@@ -83,7 +121,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 		q = 1
 	}
 	target := q * float64(h.total)
-	cum := 0.0
+	if h.under > 0 && target <= float64(h.under) {
+		return h.Min
+	}
+	cum := float64(h.under)
 	width := (h.Max - h.Min) / float64(len(h.Counts))
 	for i, c := range h.Counts {
 		next := cum + float64(c)

@@ -25,10 +25,72 @@ func TestHistogramBinning(t *testing.T) {
 
 func TestHistogramOutOfRange(t *testing.T) {
 	h := NewHistogram(0, 10, 5)
-	h.Observe(-5)  // clamps to first bin
-	h.Observe(100) // clamps to last bin
-	if h.Counts[0] != 1 || h.Counts[4] != 1 {
-		t.Fatalf("out-of-range clamping failed: %v", h.Counts)
+	h.Observe(-5)
+	h.Observe(100)
+	// Out-of-range values must not pollute the edge bins.
+	if h.Counts[0] != 0 || h.Counts[4] != 0 {
+		t.Fatalf("out-of-range values leaked into bins: %v", h.Counts)
+	}
+	if h.Under() != 1 || h.Over() != 1 {
+		t.Fatalf("under/over %d/%d, want 1/1", h.Under(), h.Over())
+	}
+	if h.Total() != 2 || h.InRange() != 0 {
+		t.Fatalf("total %d inRange %d, want 2/0", h.Total(), h.InRange())
+	}
+}
+
+func TestHistogramOutOfRangeQuantiles(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	// 2 under, 6 in range (clustered at ~5), 2 over.
+	h.Observe(-3)
+	h.Observe(-1)
+	for i := 0; i < 6; i++ {
+		h.Observe(5.5)
+	}
+	h.Observe(50)
+	h.Observe(99)
+	// Quantiles inside the under (over) mass report the Min (Max) bound.
+	if q := h.Quantile(0.1); q != 0 {
+		t.Fatalf("under-mass quantile %.2f, want Min=0", q)
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Fatalf("over-mass quantile %.2f, want Max=10", q)
+	}
+	// The median falls in the in-range cluster, not dragged toward an edge
+	// bin by the out-of-range mass.
+	if med := h.Quantile(0.5); med < 5 || med > 6 {
+		t.Fatalf("median %.2f, want within the [5,6) cluster bin", med)
+	}
+}
+
+func TestHistogramProbabilitiesExcludeOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Observe(-1)
+	h.Observe(0.5)
+	h.Observe(2.5)
+	h.Observe(9)
+	p := h.Probabilities()
+	// Normalized over the 2 in-range observations only.
+	want := []float64{0.5, 0, 0.5, 0}
+	for i := range p {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("probabilities %v, want %v", p, want)
+		}
+	}
+}
+
+func TestHistogramMergePreservesOutOfRange(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 10, 10)
+	a.Observe(-1)
+	b.Observe(42)
+	b.Observe(3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 3 || a.Under() != 1 || a.Over() != 1 || a.InRange() != 1 {
+		t.Fatalf("merged total/under/over/inRange = %d/%d/%d/%d",
+			a.Total(), a.Under(), a.Over(), a.InRange())
 	}
 }
 

@@ -39,7 +39,7 @@ func (LinkBenchOps) Run(ctx context.Context, p workloads.Params, c *metrics.Coll
 	g := stats.NewRNG(p.Seed)
 	graph := graphgen.BarabasiAlbert{M: 4}.Generate(g, 8+p.Scale)
 
-	db := dbms.Open()
+	db := dbms.Open().Instrument(c)
 	nodes := data.NewTable(data.Schema{Name: "nodes", Cols: []data.Column{
 		{Name: "id", Kind: data.KindInt},
 		{Name: "kind", Kind: data.KindString},
@@ -74,6 +74,9 @@ func (LinkBenchOps) Run(ctx context.Context, p workloads.Params, c *metrics.Coll
 	ops := int64(p.Scale) * 2000
 	chooser := stats.ScrambledZipf{Count: graph.N, S: 1.2}
 	nextNode := graph.N
+	// The request loop records into a private shard so its per-operation
+	// measurements never touch the collector's shared state.
+	rec := metrics.ShardOf(c)
 	for i := int64(0); i < ops; i++ {
 		if i%128 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -90,7 +93,7 @@ func (LinkBenchOps) Run(ctx context.Context, p workloads.Params, c *metrics.Coll
 				Where:  []dbms.Pred{{Col: "id", Op: dbms.OpEq, Val: data.Int(id)}},
 				Select: []string{"id", "version"},
 			})
-			c.ObserveLatency("select", time.Since(t))
+			rec.ObserveLatency("select", time.Since(t))
 			if err != nil {
 				return err
 			}
@@ -106,7 +109,7 @@ func (LinkBenchOps) Run(ctx context.Context, p workloads.Params, c *metrics.Coll
 				OrderBy: []dbms.Order{{Col: "dst"}},
 				Limit:   50,
 			})
-			c.ObserveLatency("assoc_range", time.Since(t))
+			rec.ObserveLatency("assoc_range", time.Since(t))
 			if err != nil {
 				return err
 			}
@@ -118,7 +121,7 @@ func (LinkBenchOps) Run(ctx context.Context, p workloads.Params, c *metrics.Coll
 				Where: []dbms.Pred{{Col: "src", Op: dbms.OpEq, Val: data.Int(id)}},
 				Aggs:  []dbms.Agg{{Fn: "count", Col: "*"}},
 			})
-			c.ObserveLatency("count", time.Since(t))
+			rec.ObserveLatency("count", time.Since(t))
 			if err != nil {
 				return err
 			}
@@ -130,7 +133,7 @@ func (LinkBenchOps) Run(ctx context.Context, p workloads.Params, c *metrics.Coll
 			n, err := db.UpdateWhere("nodes",
 				[]dbms.Pred{{Col: "id", Op: dbms.OpEq, Val: data.Int(id)}},
 				map[string]data.Value{"version": data.Int(i)})
-			c.ObserveLatency("update", time.Since(t))
+			rec.ObserveLatency("update", time.Since(t))
 			if err != nil {
 				return err
 			}
@@ -145,7 +148,7 @@ func (LinkBenchOps) Run(ctx context.Context, p workloads.Params, c *metrics.Coll
 			if err := db.Insert("assocs", data.Row{data.Int(nextNode), data.Int(id), data.String_("friend")}); err != nil {
 				return err
 			}
-			c.ObserveLatency("insert", time.Since(t))
+			rec.ObserveLatency("insert", time.Since(t))
 			nextNode++
 		default: // delete association
 			t := time.Now()
@@ -155,7 +158,7 @@ func (LinkBenchOps) Run(ctx context.Context, p workloads.Params, c *metrics.Coll
 			}); err != nil {
 				return err
 			}
-			c.ObserveLatency("delete", time.Since(t))
+			rec.ObserveLatency("delete", time.Since(t))
 		}
 	}
 	c.Add("records", ops)

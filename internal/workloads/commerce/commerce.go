@@ -189,7 +189,7 @@ func (NaiveBayes) Run(ctx context.Context, p workloads.Params, c *metrics.Collec
 	for i := 0; i < split; i++ {
 		input[i] = mapreduce.KV{Key: strconv.Itoa(labels[i]), Value: strings.Join(docs[i], " ")}
 	}
-	eng := mapreduce.New(p.Workers)
+	eng := mapreduce.New(p.Workers).Instrument(c)
 	job := mapreduce.Job{
 		Name: "nb-train",
 		Map: func(label, text string, emit func(k, v string)) {

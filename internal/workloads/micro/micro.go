@@ -72,7 +72,7 @@ func (WordCount) Run(ctx context.Context, p workloads.Params, c *metrics.Collect
 		return err
 	}
 	input := textInput(p, 10)
-	eng := mapreduce.New(p.Workers)
+	eng := mapreduce.New(p.Workers).Instrument(c)
 	job := mapreduce.Job{
 		Name: "wordcount",
 		Map: func(_, value string, emit func(k, v string)) {
@@ -144,7 +144,7 @@ func (g Grep) Run(ctx context.Context, p workloads.Params, c *metrics.Collector)
 		return err
 	}
 	input := textInput(p, 10)
-	eng := mapreduce.New(p.Workers)
+	eng := mapreduce.New(p.Workers).Instrument(c)
 	job := mapreduce.Job{
 		Name: "grep",
 		Map: func(k, v string, emit func(k, v string)) {
@@ -192,7 +192,7 @@ func (Sort) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) e
 		return err
 	}
 	input := keyInput(p)
-	eng := mapreduce.New(p.Workers)
+	eng := mapreduce.New(p.Workers).Instrument(c)
 	job := mapreduce.Job{
 		Name:        "sort",
 		Map:         func(k, v string, emit func(k, v string)) { emit(k, v) },
@@ -237,7 +237,7 @@ func (TeraSort) Run(ctx context.Context, p workloads.Params, c *metrics.Collecto
 	input := keyInput(p)
 	g := stats.NewRNG(p.Seed + 1)
 	splits := mapreduce.SampleSplits(input, p.Workers, 1000, g)
-	eng := mapreduce.New(p.Workers)
+	eng := mapreduce.New(p.Workers).Instrument(c)
 	job := mapreduce.Job{
 		Name: "terasort",
 		Map:  func(k, v string, emit func(k, v string)) { emit(k, v) },

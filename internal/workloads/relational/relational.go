@@ -68,7 +68,7 @@ func (LoadSelectAggregateJoin) Run(ctx context.Context, p workloads.Params, c *m
 	}
 	orders := ordersRows(p)
 	customers := customersTable(p)
-	db := dbms.Open()
+	db := dbms.Open().Instrument(c)
 
 	t0 := time.Now()
 	if err := db.Load(orders); err != nil {
@@ -166,7 +166,7 @@ func (MapReduceEquivalents) Run(ctx context.Context, p workloads.Params, c *metr
 	}
 	orders := ordersRows(p)
 	customers := customersTable(p)
-	eng := mapreduce.New(p.Workers)
+	eng := mapreduce.New(p.Workers).Instrument(c)
 
 	// Encode orders as "order_id|customer_id|price|region|express".
 	oi := func(name string) int { return orders.Schema.ColIndex(name) }
@@ -328,7 +328,7 @@ func (URLCount) Run(ctx context.Context, p workloads.Params, c *metrics.Collecto
 			return err
 		}
 	}
-	db := dbms.Open()
+	db := dbms.Open().Instrument(c)
 	if err := db.Load(logTable); err != nil {
 		return err
 	}
@@ -350,7 +350,7 @@ func (URLCount) Run(ctx context.Context, p workloads.Params, c *metrics.Collecto
 	for i, r := range logs {
 		input[i] = mapreduce.KV{Key: strconv.Itoa(i), Value: fmt.Sprintf("%s %d", r.Path, r.Status)}
 	}
-	eng := mapreduce.New(p.Workers)
+	eng := mapreduce.New(p.Workers).Instrument(c)
 	t1 := time.Now()
 	counts, _, err := eng.Run(mapreduce.Job{
 		Name: "mr-url-count",

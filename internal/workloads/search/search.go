@@ -50,7 +50,7 @@ func (InvertedIndex) Run(ctx context.Context, p workloads.Params, c *metrics.Col
 	for i, d := range docs {
 		input[i] = mapreduce.KV{Key: strconv.Itoa(i), Value: strings.Join(d, " ")}
 	}
-	eng := mapreduce.New(p.Workers)
+	eng := mapreduce.New(p.Workers).Instrument(c)
 	job := mapreduce.Job{
 		Name: "inverted-index",
 		Map: func(docID, text string, emit func(k, v string)) {
@@ -134,7 +134,7 @@ func (PageRank) Run(ctx context.Context, p workloads.Params, c *metrics.Collecto
 	}
 	scale := 8 + p.Scale // 2^(8+scale) vertices
 	g := graphgen.DefaultRMAT.Generate(stats.NewRNG(p.Seed), scale)
-	eng := graphengine.New(p.Workers)
+	eng := graphengine.New(p.Workers).Instrument(c)
 	t0 := time.Now()
 	res, err := eng.Run(g, graphengine.PageRank{}, 20)
 	if err != nil {

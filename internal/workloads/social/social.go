@@ -128,7 +128,7 @@ func (w KMeans) Run(ctx context.Context, p workloads.Params, c *metrics.Collecto
 		}
 		centroids = append(centroids, points[idx])
 	}
-	eng := mapreduce.New(p.Workers)
+	eng := mapreduce.New(p.Workers).Instrument(c)
 	t0 := time.Now()
 	for it := 0; it < iters; it++ {
 		if err := ctx.Err(); err != nil {
@@ -226,7 +226,7 @@ func (ConnectedComponents) Run(ctx context.Context, p workloads.Params, c *metri
 	}
 	g := graphgen.BarabasiAlbert{M: 2}.Generate(stats.NewRNG(p.Seed), scale)
 	und := graphengine.Undirected(g)
-	eng := graphengine.New(p.Workers)
+	eng := graphengine.New(p.Workers).Instrument(c)
 	t0 := time.Now()
 	res, err := eng.Run(und, graphengine.ConnectedComponents{}, 200)
 	if err != nil {

@@ -46,7 +46,7 @@ func (WindowedCount) Run(ctx context.Context, p workloads.Params, c *metrics.Col
 		KeyChooser:   stats.Zipf{Count: 100, S: 1.2},
 	}
 	events := gen.Generate(stats.NewRNG(p.Seed), n)
-	eng := streaming.New(1024)
+	eng := streaming.New(1024).Instrument(c)
 	t0 := time.Now()
 	res := eng.Run(events, streaming.TumblingWindow{Size: 100 * time.Millisecond})
 	c.ObserveLatency("pipeline", time.Since(t0))
@@ -95,7 +95,7 @@ func (RollingAggregate) Run(ctx context.Context, p workloads.Params, c *metrics.
 		KeySpace:     20,
 	}
 	events := gen.Generate(stats.NewRNG(p.Seed), n)
-	eng := streaming.New(1024)
+	eng := streaming.New(1024).Instrument(c)
 	t0 := time.Now()
 	res := eng.Run(events,
 		streaming.MapStage{Label: "weight", Fn: func(m streaming.Msg) streaming.Msg {
