@@ -1,0 +1,106 @@
+package bdbench
+
+// This file re-exports the contract types of the public API. They are
+// aliases, so values returned by bdbench interoperate directly with the
+// internal packages (and with the public datagen/ and stacks/ facades)
+// without conversion.
+
+import (
+	"github.com/bdbench/bdbench/internal/engine"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/suites"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// Workload is one runnable benchmark workload: it generates its input at
+// the requested scale, executes on its stack, verifies correctness
+// invariants and records measurements into the Collector. Implement it to
+// register custom workloads; all built-in workloads satisfy it.
+type Workload = workloads.Workload
+
+// Params controls a workload execution: Seed for determinism, Scale as the
+// workload-specific size knob, Workers as the stack parallelism.
+type Params = workloads.Params
+
+// Info is a static workload description (name, category, domain, stacks).
+type Info = workloads.Info
+
+// Category is the paper's three-way user-perspective workload
+// classification.
+type Category = workloads.Category
+
+// The workload categories of Table 2.
+const (
+	Online   = workloads.Online
+	Offline  = workloads.Offline
+	Realtime = workloads.Realtime
+)
+
+// StackType classifies a software stack.
+type StackType = stacks.Type
+
+// The stack types workloads run on.
+const (
+	StackMapReduce = stacks.TypeMapReduce
+	StackDBMS      = stacks.TypeDBMS
+	StackNoSQL     = stacks.TypeNoSQL
+	StackStreaming = stacks.TypeStreaming
+	StackGraph     = stacks.TypeGraph
+)
+
+// Collector gathers a workload run's measurements: latency observations
+// per operation and named counters, merged into a Result snapshot.
+type Collector = metrics.Collector
+
+// NewCollector returns a collector for one workload run.
+func NewCollector(name string) *Collector { return metrics.NewCollector(name) }
+
+// Result is one workload run's measurement snapshot.
+type Result = metrics.Result
+
+// OpStats summarizes one operation's latency distribution.
+type OpStats = metrics.OpStats
+
+// EnergyModel estimates energy from wall/active time (§3.1's
+// non-performance metric family).
+type EnergyModel = metrics.EnergyModel
+
+// CostModel estimates dollar cost from wall time.
+type CostModel = metrics.CostModel
+
+// Default metric models, usable directly in a Scenario.
+var (
+	DefaultEnergyModel = metrics.DefaultEnergyModel
+	DefaultCostModel   = metrics.DefaultCostModel
+)
+
+// Event is one streamed engine progress report; subscribe with WithEvents.
+type Event = engine.Event
+
+// EventKind labels a progress event.
+type EventKind = engine.EventKind
+
+// The event kinds streamed during a run.
+const (
+	EventTaskStart = engine.EventTaskStart
+	EventRepDone   = engine.EventRepDone
+	EventTaskDone  = engine.EventTaskDone
+)
+
+// RepSummary summarizes a statistic across a workload's repetitions.
+type RepSummary = engine.RepSummary
+
+// Suite is one emulated benchmark effort: data generator capabilities plus
+// a workload inventory. Register custom suites with RegisterSuite.
+type Suite = suites.Suite
+
+// WorkloadRow is one suite inventory row: a category with its example
+// workload names and runnable bindings.
+type WorkloadRow = suites.WorkloadRow
+
+// DatasetSpec describes one data set a suite can generate.
+type DatasetSpec = suites.DatasetSpec
+
+// SourceKind names a data source (tables, texts, graphs, ...).
+type SourceKind = suites.SourceKind

@@ -1,0 +1,119 @@
+package bdbench_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	bdbench "github.com/bdbench/bdbench"
+)
+
+// TestCustomWorkloadThroughPublicAPI is the external-caller path end to
+// end: an isolated registry, a custom workload, a run through bdbench.Run
+// and its appearance in the JSON reporter's output.
+func TestCustomWorkloadThroughPublicAPI(t *testing.T) {
+	reg := bdbench.NewRegistry()
+	if err := reg.RegisterWorkload(evenCount{}); err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	out, err := bdbench.Run(context.Background(),
+		bdbench.Scenario{Entries: []bdbench.Entry{{Workload: "even-count"}}, Seed: 3, Scale: 2},
+		bdbench.WithRegistry(reg),
+		bdbench.WithEvents(func(bdbench.Event) { events++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Results[0].Result.Counters["evens"]; got != 100 {
+		t.Fatalf("evens %d, want deterministic 100", got)
+	}
+	if events < 3 {
+		t.Fatalf("events %d, want task-start/rep-done/task-done", events)
+	}
+	var buf bytes.Buffer
+	if err := bdbench.NewJSONReporter().Report(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"workload": "even-count"`) {
+		t.Fatalf("custom workload missing from JSON output:\n%s", buf.String())
+	}
+}
+
+// TestSampleScenarioSpec guards the checked-in spec file: it parses
+// strictly, validates against the default registry, mixes rows from at
+// least two suites and carries a per-entry scale override.
+func TestSampleScenarioSpec(t *testing.T) {
+	sc, err := bdbench.LoadScenario("testdata/scenario.sample.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(bdbench.DefaultRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	suites := map[string]bool{}
+	override := false
+	for _, e := range sc.Entries {
+		if e.Suite != "" {
+			suites[e.Suite] = true
+		}
+		if e.Scale > 0 || e.Reps > 0 {
+			override = true
+		}
+	}
+	if len(suites) < 2 {
+		t.Fatalf("sample spec mixes %d suites, want >= 2", len(suites))
+	}
+	if !override {
+		t.Fatal("sample spec has no per-entry overrides")
+	}
+	// Round trip.
+	raw, err := sc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bdbench.ParseScenario(raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReporterForUnknownFormat(t *testing.T) {
+	if _, err := bdbench.ReporterFor("yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	for _, f := range bdbench.Formats() {
+		r, err := bdbench.ReporterFor(f)
+		if err != nil || r.Format() != f {
+			t.Fatalf("format %s: %v %v", f, r, err)
+		}
+	}
+}
+
+func TestPrescriptionWorkloadPublic(t *testing.T) {
+	names := bdbench.Prescriptions()
+	if len(names) == 0 {
+		t.Fatal("no prescriptions listed")
+	}
+	w, err := bdbench.NewPrescriptionWorkload(bdbench.PrescriptionConfig{
+		Prescription: names[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() == "" {
+		t.Fatal("empty derived name")
+	}
+}
+
+func TestDefaultRegistryInventory(t *testing.T) {
+	reg := bdbench.DefaultRegistry()
+	if len(reg.WorkloadNames()) < 20 {
+		t.Fatalf("registry has %d workloads, want the full inventory", len(reg.WorkloadNames()))
+	}
+	for _, s := range []string{"HiBench", "YCSB", "BigDataBench", "bdbench (this work)"} {
+		if _, ok := reg.Suite(s); !ok {
+			t.Fatalf("suite %q missing from default registry", s)
+		}
+	}
+}

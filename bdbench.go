@@ -24,13 +24,28 @@
 //     worker pool with warmup/repetition control, per-run deadlines, panic
 //     isolation and streaming progress events — seed-deterministic at any
 //     parallelism;
+//   - internal/scenario      the composition layer: registry, declarative
+//     scenario specs, the five-step runner and the reporter contract;
 //   - internal/core          the five-step benchmarking process of Figure 1
 //     and the layered architecture of Figure 2.
 //
+// This package is the public API over those substrates. The registry
+// (Register, RegisterSuite, DefaultRegistry) makes workloads and suites
+// addressable by name — the built-in inventory self-registers, and custom
+// Workloads (including ones built from abstract-test prescriptions via
+// NewPrescriptionWorkload) join it the same way. A Scenario is a
+// validated, JSON-round-trippable spec that composes workloads across any
+// suites with per-entry overrides; Run executes it on the concurrent
+// engine with functional options (WithEvents, WithRegistry,
+// WithDataProbes); Reporters export the outcome as text, markdown or JSON.
+// The datagen/... and stacks/... directories re-export the data
+// generators and simulated stacks for direct use.
+//
 // Entry points: the bdbench CLI (cmd/bdbench) regenerates every table and
-// figure; the examples directory shows the public API on domain scenarios;
+// figure and runs scenario spec files; the examples directory demonstrates
+// the public API on domain scenarios (and imports nothing internal);
 // bench_test.go maps each experiment to a testing.B benchmark.
 package bdbench
 
 // Version is the release version of the bdbench module.
-const Version = "1.0.0"
+const Version = "1.1.0"

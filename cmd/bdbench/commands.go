@@ -8,50 +8,92 @@ import (
 	"strings"
 	"time"
 
-	"github.com/bdbench/bdbench/internal/core"
-	"github.com/bdbench/bdbench/internal/engine"
-	"github.com/bdbench/bdbench/internal/metrics"
-	"github.com/bdbench/bdbench/internal/report"
-	"github.com/bdbench/bdbench/internal/suites"
+	bdbench "github.com/bdbench/bdbench"
 	"github.com/bdbench/bdbench/internal/testgen"
-	"github.com/bdbench/bdbench/internal/workloads"
 )
 
-// engineOpts holds the execution-engine knobs shared by the commands that
-// run workload inventories.
-type engineOpts struct {
-	workers  *int
-	reps     *int
-	warmup   *int
-	timeout  *time.Duration
-	progress *bool
+// scenarioFlags is the one shared definition of the engine and sizing
+// knobs used by the commands that run workload selections (run, figure1,
+// experiments). It registers the flags and layers them onto a Scenario —
+// all of them when the scenario starts from CLI defaults, only the
+// explicitly set ones when it was loaded from a spec file (so a spec's
+// values win unless the user overrides them).
+type scenarioFlags struct {
+	fs           *flag.FlagSet
+	scale        *int
+	seed         *uint64
+	stackWorkers *int
+	workers      *int
+	reps         *int
+	warmup       *int
+	timeout      *time.Duration
+	progress     *bool
 }
 
-func addEngineFlags(fs *flag.FlagSet) engineOpts {
-	return engineOpts{
-		workers:  fs.Int("workers", 0, "concurrent workloads in the engine pool (0 = one per CPU)"),
-		reps:     fs.Int("reps", 1, "measured repetitions per workload (median reported)"),
-		warmup:   fs.Int("warmup", 0, "unmeasured warmup runs per workload"),
-		timeout:  fs.Duration("timeout", 0, "per-run deadline, e.g. 30s (0 = none)"),
-		progress: fs.Bool("progress", false, "stream per-repetition progress to stderr"),
+func addScenarioFlags(fs *flag.FlagSet) *scenarioFlags {
+	return &scenarioFlags{
+		fs:           fs,
+		scale:        fs.Int("scale", 0, "workload scale (0 = scenario default)"),
+		seed:         fs.Uint64("seed", 42, "workload seed"),
+		stackWorkers: fs.Int("stack-workers", 0, "per-workload stack parallelism (0 = scenario default)"),
+		workers:      fs.Int("workers", 0, "concurrent workloads in the engine pool (0 = one per CPU)"),
+		reps:         fs.Int("reps", 1, "measured repetitions per workload (median reported)"),
+		warmup:       fs.Int("warmup", 0, "unmeasured warmup runs per workload"),
+		timeout:      fs.Duration("timeout", 0, "per-run deadline, e.g. 30s (0 = none)"),
+		progress:     fs.Bool("progress", false, "stream per-repetition progress to stderr"),
 	}
 }
 
-func (o engineOpts) config() engine.Config {
-	cfg := engine.Config{Workers: *o.workers, Reps: *o.reps, Warmup: *o.warmup, Timeout: *o.timeout}
-	if *o.progress {
-		cfg.OnEvent = printEvent
+// appliers is the single flag-name → scenario-field mapping both apply
+// variants consume, so a new knob cannot be wired into one and silently
+// dropped by the other.
+func (sf *scenarioFlags) appliers() map[string]func(*bdbench.Scenario) {
+	return map[string]func(*bdbench.Scenario){
+		"scale":         func(s *bdbench.Scenario) { s.Scale = *sf.scale },
+		"seed":          func(s *bdbench.Scenario) { s.Seed = *sf.seed },
+		"stack-workers": func(s *bdbench.Scenario) { s.Workers = *sf.stackWorkers },
+		"workers":       func(s *bdbench.Scenario) { s.Parallel = *sf.workers },
+		"reps":          func(s *bdbench.Scenario) { s.Reps = *sf.reps },
+		"warmup":        func(s *bdbench.Scenario) { s.Warmup = *sf.warmup },
+		"timeout":       func(s *bdbench.Scenario) { s.Timeout = bdbench.Duration(*sf.timeout) },
 	}
-	return cfg
+}
+
+// apply layers every knob onto the scenario.
+func (sf *scenarioFlags) apply(s *bdbench.Scenario) {
+	for _, fn := range sf.appliers() {
+		fn(s)
+	}
+}
+
+// applySet layers only the flags the user explicitly set onto the
+// scenario, preserving the rest of a loaded spec (or an experiment's
+// baseline configuration).
+func (sf *scenarioFlags) applySet(s *bdbench.Scenario) {
+	appliers := sf.appliers()
+	sf.fs.Visit(func(f *flag.Flag) {
+		if fn, ok := appliers[f.Name]; ok {
+			fn(s)
+		}
+	})
+}
+
+// options derives the run options the knobs imply.
+func (sf *scenarioFlags) options() []bdbench.Option {
+	var opts []bdbench.Option
+	if *sf.progress {
+		opts = append(opts, bdbench.WithEvents(printEvent))
+	}
+	return opts
 }
 
 // printEvent renders one engine progress event; the engine serializes
 // calls, so plain writes are safe.
-func printEvent(e engine.Event) {
+func printEvent(e bdbench.Event) {
 	switch e.Kind {
-	case engine.EventTaskStart:
+	case bdbench.EventTaskStart:
 		fmt.Fprintf(os.Stderr, "engine: %-24s start\n", e.Workload)
-	case engine.EventRepDone:
+	case bdbench.EventRepDone:
 		label := fmt.Sprintf("rep %d", e.Rep+1)
 		if e.Warmup {
 			label = "warmup"
@@ -62,7 +104,7 @@ func printEvent(e engine.Event) {
 		}
 		fmt.Fprintf(os.Stderr, "engine: %-24s %-8s %-12v %s\n",
 			e.Workload, label, e.Elapsed.Round(time.Millisecond), status)
-	case engine.EventTaskDone:
+	case bdbench.EventTaskDone:
 		fmt.Fprintf(os.Stderr, "engine: %-24s done in %v\n",
 			e.Workload, e.Elapsed.Round(time.Millisecond))
 	}
@@ -74,15 +116,15 @@ func cmdTable1(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := suites.DeriveTable1(*seed)
+	rows, err := bdbench.DeriveTable1(*seed)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Table 1 — comparison of data generation techniques (derived from probes)")
 	fmt.Println()
-	fmt.Print(suites.FormatTable1(rows))
+	fmt.Print(bdbench.FormatTable1(rows))
 	fmt.Println()
-	diffs := suites.CompareToPaper(rows)
+	diffs := bdbench.CompareTable1ToPaper(rows)
 	if len(diffs) == 0 {
 		fmt.Println("agreement with the paper: 10/10 surveyed suites match on every axis")
 	} else {
@@ -103,12 +145,12 @@ func cmdTable1(args []string) error {
 }
 
 func cmdTable2(args []string) error {
-	rows := suites.DeriveTable2()
+	rows := bdbench.DeriveTable2()
 	fmt.Println("Table 2 — comparison of benchmarking techniques (derived from inventories)")
 	fmt.Println()
-	fmt.Print(suites.FormatTable2(rows))
+	fmt.Print(bdbench.FormatTable2(rows))
 	fmt.Println()
-	diffs := suites.CompareTable2ToPaper(rows)
+	diffs := bdbench.CompareTable2ToPaper(rows)
 	if len(diffs) == 0 {
 		fmt.Println("agreement with the paper: all surveyed suites expose the published workload categories")
 	} else {
@@ -122,46 +164,36 @@ func cmdTable2(args []string) error {
 func cmdFigure1(args []string) error {
 	fs := newFlagSet("figure1")
 	suite := fs.String("suite", "GridMix", "suite to run through the process")
-	scale := fs.Int("scale", 1, "workload scale")
-	stackWorkers := fs.Int("stack-workers", 4, "per-workload stack parallelism")
-	eng := addEngineFlags(fs)
+	sf := addScenarioFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fmt.Println("Figure 1 — benchmarking process for big data systems")
-	out, err := core.Run(core.Plan{
-		Object:   "figure1 demonstration",
-		Suite:    *suite,
-		Scale:    *scale,
-		Workers:  *stackWorkers,
-		Seed:     1,
-		Parallel: *eng.workers,
-		Reps:     *eng.reps,
-		Warmup:   *eng.warmup,
-		Timeout:  *eng.timeout,
-		Energy:   metrics.DefaultEnergyModel,
-		Cost:     metrics.DefaultCostModel,
-	})
-	if err != nil {
+	sc := bdbench.SuiteScenario(*suite)
+	sc.Name = "figure1 demonstration"
+	sc.Energy = bdbench.DefaultEnergyModel
+	sc.Cost = bdbench.DefaultCostModel
+	sf.apply(&sc)
+	out, err := bdbench.Run(context.Background(), sc,
+		append(sf.options(), bdbench.WithDataProbes())...)
+	if err != nil && out == nil {
 		return err
 	}
 	for _, s := range out.Steps {
 		fmt.Printf("  step %-24s %-55s %v\n", s.Step, s.Detail, s.Duration.Round(time.Millisecond))
 	}
 	fmt.Println()
-	var results []metrics.Result
+	var results []bdbench.Result
 	for _, r := range out.Results {
 		results = append(results, r.Result)
 	}
-	fmt.Print(report.Table(
-		[]string{"workload", "elapsed", "ops/s", "p50", "p99"},
-		report.ResultRows(results)))
-	return nil
+	fmt.Print(bdbench.FormatResults(results))
+	return err
 }
 
 func cmdFigure2(args []string) error {
 	fmt.Println("Figure 2 — layered architecture of big data benchmarks")
-	fmt.Print(core.FormatArchitecture(core.Architecture()))
+	fmt.Print(bdbench.FormatArchitecture(bdbench.Architecture()))
 	return nil
 }
 
@@ -176,7 +208,7 @@ func cmdFigure3(args []string) error {
 	fmt.Println("Figure 3 — the big data generation process")
 	fmt.Println()
 	fmt.Println("text data type:")
-	text, err := core.TextDataGenProcess(1, *docs, *workers)
+	text, err := bdbench.TextDataGenProcess(1, *docs, *workers)
 	if err != nil {
 		return err
 	}
@@ -185,7 +217,7 @@ func cmdFigure3(args []string) error {
 	}
 	fmt.Printf("  veracity: KL(raw||synthetic) = %.4f over the word distribution\n\n", text.Divergence)
 	fmt.Println("table data type:")
-	tab, err := core.TableDataGenProcess(2, *rows, *workers)
+	tab, err := bdbench.TableDataGenProcess(2, *rows, *workers)
 	if err != nil {
 		return err
 	}
@@ -232,61 +264,54 @@ func cmdFigure4(args []string) error {
 
 func cmdRun(args []string) error {
 	fs := newFlagSet("run")
-	suiteName := fs.String("suite", "BigDataBench", "suite to run")
-	scale := fs.Int("scale", 1, "workload scale")
-	stackWorkers := fs.Int("stack-workers", 4, "per-workload stack parallelism")
-	seed := fs.Uint64("seed", 42, "workload seed")
-	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
-	eng := addEngineFlags(fs)
+	spec := fs.String("spec", "", "scenario spec file (JSON); composes workloads across suites")
+	suiteName := fs.String("suite", "BigDataBench", "suite to run (ignored when -spec is given)")
+	format := fs.String("format", "text", "output format: "+strings.Join(bdbench.Formats(), "|"))
+	validate := fs.Bool("validate", false, "validate and print the normalized scenario without running it")
+	sf := addScenarioFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	suite, ok := suites.ByName(*suiteName)
-	if !ok {
-		return fmt.Errorf("unknown suite %q (try 'bdbench suites')", *suiteName)
-	}
-	results := suites.RunSuiteEngine(context.Background(), suite,
-		workloads.Params{Seed: *seed, Scale: *scale, Workers: *stackWorkers}, eng.config())
-	if *asJSON {
-		out, err := report.JSON(results)
+	var sc bdbench.Scenario
+	if *spec != "" {
+		loaded, err := bdbench.LoadScenario(*spec)
 		if err != nil {
 			return err
 		}
-		fmt.Println(out)
+		sc = loaded
+		sf.applySet(&sc)
+	} else {
+		sc = bdbench.SuiteScenario(*suiteName)
+		sf.apply(&sc)
+	}
+	reporter, err := bdbench.ReporterFor(*format)
+	if err != nil {
+		return err
+	}
+	if *validate {
+		if err := sc.Validate(bdbench.DefaultRegistry()); err != nil {
+			return err
+		}
+		raw, err := sc.Normalized().MarshalIndent()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
 		return nil
 	}
-	var rows [][]string
-	failures := 0
-	for _, r := range results {
-		status := "ok"
-		if r.Err != nil {
-			status = "FAIL: " + r.Err.Error()
-			failures++
-		}
-		// The ops/s cell is always the median repetition (matching elapsed);
-		// with several reps the spread across them is shown alongside.
-		tput := fmt.Sprintf("%.0f", r.Result.Throughput)
-		if len(r.Reps) > 1 {
-			tput = fmt.Sprintf("%.0f ±%.0f", r.Result.Throughput, r.Throughput.StdDev)
-		}
-		rows = append(rows, []string{
-			r.Workload, string(r.Category),
-			r.Result.Elapsed.Round(time.Millisecond).String(),
-			tput,
-			fmt.Sprintf("%d", len(r.Reps)),
-			status,
-		})
+	out, runErr := bdbench.Run(context.Background(), sc, sf.options()...)
+	if out == nil {
+		return runErr
 	}
-	fmt.Print(report.Table([]string{"workload", "category", "elapsed", "ops/s", "reps", "status"}, rows))
-	if failures > 0 {
-		return fmt.Errorf("%d workload(s) failed", failures)
+	if err := reporter.Report(os.Stdout, out); err != nil {
+		return err
 	}
-	return nil
+	return runErr
 }
 
 func cmdSuites(args []string) error {
 	var rows [][]string
-	for _, s := range suites.All() {
+	for _, s := range bdbench.DefaultRegistry().Suites() {
 		kinds := make([]string, 0, len(s.Sources()))
 		for _, k := range s.Sources() {
 			kinds = append(kinds, string(k))
@@ -298,7 +323,22 @@ func cmdSuites(args []string) error {
 			strings.Join(s.SoftwareStacks, ","),
 		})
 	}
-	fmt.Print(report.Table([]string{"suite", "ref", "workloads", "sources", "stacks"}, rows))
+	printAligned([]string{"suite", "ref", "workloads", "sources", "stacks"}, rows)
+	return nil
+}
+
+func cmdWorkloads(args []string) error {
+	var rows [][]string
+	for _, w := range bdbench.DefaultRegistry().Workloads() {
+		stacks := make([]string, 0, len(w.StackTypes()))
+		for _, st := range w.StackTypes() {
+			stacks = append(stacks, string(st))
+		}
+		rows = append(rows, []string{
+			w.Name(), string(w.Category()), w.Domain(), strings.Join(stacks, ","),
+		})
+	}
+	printAligned([]string{"workload", "category", "domain", "stacks"}, rows)
 	return nil
 }
 
@@ -319,6 +359,11 @@ func cmdPrescriptions(args []string) error {
 			fmt.Sprintf("%s/%d", p.Data.Source, p.Data.Size),
 		})
 	}
-	fmt.Print(report.Table([]string{"prescription", "pattern", "steps", "data"}, rows))
+	printAligned([]string{"prescription", "pattern", "steps", "data"}, rows)
 	return nil
+}
+
+// printAligned renders rows under headers with aligned columns.
+func printAligned(headers []string, rows [][]string) {
+	fmt.Print(bdbench.AlignedTable(headers, rows))
 }

@@ -6,26 +6,25 @@ import (
 	"runtime"
 	"time"
 
-	"github.com/bdbench/bdbench/internal/datagen"
-	"github.com/bdbench/bdbench/internal/datagen/graphgen"
-	"github.com/bdbench/bdbench/internal/datagen/streamgen"
-	"github.com/bdbench/bdbench/internal/datagen/tablegen"
-	"github.com/bdbench/bdbench/internal/datagen/veracity"
-	"github.com/bdbench/bdbench/internal/engine"
-	"github.com/bdbench/bdbench/internal/metrics"
-	"github.com/bdbench/bdbench/internal/report"
-	"github.com/bdbench/bdbench/internal/stats"
-	"github.com/bdbench/bdbench/internal/suites"
-	"github.com/bdbench/bdbench/internal/workloads"
-	"github.com/bdbench/bdbench/internal/workloads/oltp"
-	"github.com/bdbench/bdbench/internal/workloads/relational"
+	bdbench "github.com/bdbench/bdbench"
+	"github.com/bdbench/bdbench/datagen"
+	"github.com/bdbench/bdbench/datagen/graphgen"
+	"github.com/bdbench/bdbench/datagen/streamgen"
+	"github.com/bdbench/bdbench/datagen/tablegen"
+	"github.com/bdbench/bdbench/datagen/veracity"
 )
 
 // cmdExperiments runs the quantitative experiments E7-E13 of DESIGN.md and
-// prints their series; EXPERIMENTS.md records representative output.
+// prints their series; EXPERIMENTS.md records representative output. The
+// workload-running experiments (E11-E13) go through the public scenario
+// API like any external caller would; explicitly set engine knobs layer
+// over each experiment's baseline (seed, parallelism) the same way they
+// layer over a -spec file. The generator experiments (E7-E9) only respond
+// to -scale.
 func cmdExperiments(args []string) error {
 	fs := newFlagSet("experiments")
 	quick := fs.Bool("quick", false, "smaller sizes for a fast pass")
+	sf := addScenarioFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -33,7 +32,10 @@ func cmdExperiments(args []string) error {
 	if !*quick {
 		scale = 2
 	}
-	for _, f := range []func(int) error{
+	if *sf.scale > 0 {
+		scale = *sf.scale
+	}
+	for _, f := range []func(int, *scenarioFlags) error{
 		expVelocityParallel,
 		expVelocityAlgorithmKnob,
 		expVeracityVsSampleSize,
@@ -42,7 +44,7 @@ func cmdExperiments(args []string) error {
 		expWorkloadCategories,
 		expProcessingSpeed,
 	} {
-		if err := f(scale); err != nil {
+		if err := f(scale, sf); err != nil {
 			return err
 		}
 		fmt.Println()
@@ -51,7 +53,7 @@ func cmdExperiments(args []string) error {
 }
 
 // expVelocityParallel is E7: data generation rate vs parallel generators.
-func expVelocityParallel(scale int) error {
+func expVelocityParallel(scale int, _ *scenarioFlags) error {
 	fmt.Println("E7 — velocity via parallel deployment (rows/s vs workers)")
 	spec := tablegen.ReferenceSpec(1)
 	spec.ChunkSize = 1024
@@ -66,22 +68,22 @@ func expVelocityParallel(scale int) error {
 		labels = append(labels, fmt.Sprintf("%d workers", w))
 		rates = append(rates, rate)
 	}
-	fmt.Print(report.BarChart(labels, rates, 40))
+	fmt.Print(bdbench.BarChart(labels, rates, 40))
 	return nil
 }
 
 // expVelocityAlgorithmKnob is E8 (§5.1): generation speed vs the BA
 // generator's memory mode.
-func expVelocityAlgorithmKnob(scale int) error {
+func expVelocityAlgorithmKnob(scale int, _ *scenarioFlags) error {
 	fmt.Println("E8 — velocity via algorithm efficiency (graph gen, §5.1)")
 	sc := 12 + scale
 	t0 := time.Now()
-	heavy := graphgen.BarabasiAlbert{M: 4, Mode: graphgen.MemoryHeavy}.Generate(stats.NewRNG(2), sc)
+	heavy := graphgen.BarabasiAlbert{M: 4, Mode: graphgen.MemoryHeavy}.Generate(datagen.NewRNG(2), sc)
 	heavyDur := time.Since(t0)
 	t1 := time.Now()
-	light := graphgen.BarabasiAlbert{M: 4, Mode: graphgen.MemoryLight}.Generate(stats.NewRNG(2), sc)
+	light := graphgen.BarabasiAlbert{M: 4, Mode: graphgen.MemoryLight}.Generate(datagen.NewRNG(2), sc)
 	lightDur := time.Since(t1)
-	fmt.Print(report.BarChart(
+	fmt.Print(bdbench.BarChart(
 		[]string{"memory-heavy (edges/s)", "memory-light (edges/s)"},
 		[]float64{
 			float64(heavy.NumEdges()) / heavyDur.Seconds(),
@@ -93,7 +95,7 @@ func expVelocityAlgorithmKnob(scale int) error {
 
 // expVeracityVsSampleSize is E9: divergence of model-based vs unaware
 // generation as sample size grows.
-func expVeracityVsSampleSize(scale int) error {
+func expVeracityVsSampleSize(scale int, _ *scenarioFlags) error {
 	fmt.Println("E9 — veracity metric vs sample size (table data)")
 	raw := tablegen.ReferenceTable(3, int64(4000*scale))
 	full, err := tablegen.BuildSpec(raw, tablegen.VeracityFull, nil, 32, 4)
@@ -104,9 +106,8 @@ func expVeracityVsSampleSize(scale int) error {
 	if err != nil {
 		return err
 	}
-	s := report.Series{Name: "mean column divergence", XLabel: "synthetic rows", YLabel: "divergence"}
-	var baseline report.Series
-	baseline = report.Series{Name: "veracity-unaware baseline", XLabel: "synthetic rows", YLabel: "divergence"}
+	s := bdbench.Series{Name: "mean column divergence", XLabel: "synthetic rows", YLabel: "divergence"}
+	baseline := bdbench.Series{Name: "veracity-unaware baseline", XLabel: "synthetic rows", YLabel: "divergence"}
 	for _, n := range []int64{250, 1000, 4000} {
 		synFull := full.Generate(n * int64(scale))
 		synNone := none.Generate(n * int64(scale))
@@ -123,100 +124,95 @@ func expVeracityVsSampleSize(scale int) error {
 		baseline.X = append(baseline.X, float64(n))
 		baseline.Y = append(baseline.Y, rn.Score())
 	}
-	fmt.Print(report.FormatSeries(s))
-	fmt.Print(report.FormatSeries(baseline))
+	fmt.Print(bdbench.FormatSeries(s))
+	fmt.Print(bdbench.FormatSeries(baseline))
 	return nil
 }
 
-// expYCSBProfile is E11: throughput and latency per YCSB workload.
-func expYCSBProfile(scale int) error {
+// expYCSBProfile is E11: throughput and latency per YCSB workload, run
+// through the public scenario API with one engine worker so workloads are
+// measured without contending with each other.
+func expYCSBProfile(scale int, sf *scenarioFlags) error {
 	fmt.Println("E11 — YCSB core workloads on the NoSQL store")
-	var results []metrics.Result
-	for _, w := range oltp.All() {
-		c := metrics.NewCollector(w.Name())
-		t0 := time.Now()
-		if err := w.Run(context.Background(), workloads.Params{Seed: 6, Scale: scale, Workers: 4}, c); err != nil {
-			return err
-		}
-		c.SetElapsed(time.Since(t0))
-		results = append(results, c.Snapshot())
+	sc := bdbench.SuiteScenario("YCSB")
+	sc.Scale, sc.Seed, sc.Parallel = scale, 6, 1
+	sf.applySet(&sc)
+	out, err := bdbench.Run(context.Background(), sc, sf.options()...)
+	if err != nil {
+		return err
 	}
-	fmt.Print(report.Table([]string{"workload", "elapsed", "ops/s", "p50", "p99"}, report.ResultRows(results)))
+	var results []bdbench.Result
+	for _, r := range out.Results {
+		results = append(results, r.Result)
+	}
+	fmt.Print(bdbench.FormatResults(results))
 	return nil
 }
 
-// expPavloComparison is E12: DBMS vs MapReduce on the Pavlo task set.
-func expPavloComparison(scale int) error {
+// expPavloComparison is E12: DBMS vs MapReduce on the Pavlo task set,
+// selected by workload name from the registry.
+func expPavloComparison(scale int, sf *scenarioFlags) error {
 	fmt.Println("E12 — Pavlo comparison: DBMS vs MapReduce task latencies")
-	run := func(w workloads.Workload) (metrics.Result, error) {
-		c := metrics.NewCollector(w.Name())
-		t0 := time.Now()
-		err := w.Run(context.Background(), workloads.Params{Seed: 7, Scale: scale, Workers: 4}, c)
-		c.SetElapsed(time.Since(t0))
-		return c.Snapshot(), err
+	sc := bdbench.Scenario{
+		Name: "pavlo comparison",
+		Entries: []bdbench.Entry{
+			{Workload: "pavlo-dbms"},
+			{Workload: "pavlo-mapreduce"},
+		},
+		Scale: scale, Seed: 7, Parallel: 1,
 	}
-	db, err := run(relational.LoadSelectAggregateJoin{})
+	sf.applySet(&sc)
+	out, err := bdbench.Run(context.Background(), sc, sf.options()...)
 	if err != nil {
 		return err
 	}
-	mr, err := run(relational.MapReduceEquivalents{})
-	if err != nil {
-		return err
+	find := func(r bdbench.Result, task string) string {
+		for _, op := range r.Ops {
+			if op.Op == task {
+				return op.Mean.Round(time.Microsecond).String()
+			}
+		}
+		return "-"
 	}
 	var rows [][]string
 	for _, task := range []string{"select", "aggregate", "join"} {
-		find := func(r metrics.Result) string {
-			for _, op := range r.Ops {
-				if op.Op == task {
-					return op.Mean.Round(time.Microsecond).String()
-				}
-			}
-			return "-"
-		}
-		rows = append(rows, []string{task, find(db), find(mr)})
+		rows = append(rows, []string{task,
+			find(out.Results[0].Result, task),
+			find(out.Results[1].Result, task)})
 	}
-	fmt.Print(report.Table([]string{"task", "dbms", "mapreduce"}, rows))
+	printAligned([]string{"task", "dbms", "mapreduce"}, rows)
 	return nil
 }
 
-// expWorkloadCategories is E13: throughput profile per workload category.
-func expWorkloadCategories(scale int) error {
+// expWorkloadCategories is E13: throughput profile per workload category —
+// the scenario outcome's summary is exactly this digest.
+func expWorkloadCategories(scale int, sf *scenarioFlags) error {
 	fmt.Println("E13 — workload category profiles (BigDataBench inventory)")
-	suite, _ := suites.ByName("BigDataBench")
+	sc := bdbench.SuiteScenario("BigDataBench")
 	// One engine worker: E13 compares per-workload throughput, so workloads
 	// must not contend with each other for CPU while being measured.
-	results := suites.RunSuiteEngine(context.Background(), suite,
-		workloads.Params{Seed: 8, Scale: scale, Workers: 4}, engine.Config{Workers: 1})
-	perCat := map[workloads.Category][]float64{}
-	for _, r := range results {
-		if r.Err != nil {
-			return fmt.Errorf("%s: %w", r.Workload, r.Err)
-		}
-		perCat[r.Category] = append(perCat[r.Category], r.Result.Throughput)
+	sc.Scale, sc.Seed, sc.Parallel = scale, 8, 1
+	sf.applySet(&sc)
+	out, err := bdbench.Run(context.Background(), sc, sf.options()...)
+	if err != nil {
+		return err
 	}
 	var labels []string
 	var values []float64
-	for _, cat := range []workloads.Category{workloads.Online, workloads.Offline, workloads.Realtime} {
-		mean := 0.0
-		for _, v := range perCat[cat] {
-			mean += v
-		}
-		if n := len(perCat[cat]); n > 0 {
-			mean /= float64(n)
-		}
+	for _, cat := range []bdbench.Category{bdbench.Online, bdbench.Offline, bdbench.Realtime} {
 		labels = append(labels, string(cat))
-		values = append(values, mean)
+		values = append(values, out.Summary[cat])
 	}
-	fmt.Print(report.BarChart(labels, values, 40))
+	fmt.Print(bdbench.BarChart(labels, values, 40))
 	return nil
 }
 
 // expProcessingSpeed measures velocity-as-processing-speed: the streaming
 // engine's sustainable rate vs the generator's arrival rate.
-func expProcessingSpeed(scale int) error {
+func expProcessingSpeed(scale int, _ *scenarioFlags) error {
 	fmt.Println("E7b — processing speed vs arrival rate (streaming)")
 	gen := streamgen.Generator{EventsPerSec: 50_000, KeySpace: 100}
-	events := gen.Generate(stats.NewRNG(9), int64(50_000*scale))
+	events := gen.Generate(datagen.NewRNG(9), int64(50_000*scale))
 	probe := datagen.NewRateProbe()
 	rate := streamgen.MeasureProcessingSpeed(events, func(streamgen.Event) { probe.Add(1) })
 	fmt.Printf("arrival rate (virtual): 50000 ev/s; sustained processing: %.0f ev/s (%.1fx)\n",

@@ -9,9 +9,14 @@
 //	bdbench figure3             run the 4-step data generation process
 //	bdbench figure4             run the 5-step test generation process
 //	bdbench run -suite S        execute a suite's workload inventory
+//	bdbench run -spec F.json    execute a scenario spec composing suites
 //	bdbench suites              list available suite emulations
+//	bdbench workloads           list the registered workload inventory
 //	bdbench prescriptions       list the prescription repository
 //	bdbench experiments         run the quantitative experiment set (E7-E13)
+//
+// It is built entirely on the public bdbench package — every command works
+// the same way for an external caller of the API.
 package main
 
 import (
@@ -44,6 +49,8 @@ func main() {
 		err = cmdRun(args)
 	case "suites":
 		err = cmdSuites(args)
+	case "workloads":
+		err = cmdWorkloads(args)
 	case "prescriptions":
 		err = cmdPrescriptions(args)
 	case "experiments":
@@ -71,18 +78,28 @@ commands:
   figure2         print the 3-layer architecture
   figure3         run the 4-step data generation process (text and table)
   figure4         run the 5-step test generation process + portability check
-  run             execute one suite's workloads on the concurrent engine
+  run             execute a suite (-suite) or a scenario spec file (-spec)
   suites          list the emulated benchmark suites
+  workloads       list the registered workload inventory
   prescriptions   list the reusable prescription repository
   experiments     run the quantitative experiment set (velocity, veracity, ...)
 
-engine knobs (run, figure1):
+run selection:
+  -spec F.json      scenario spec composing workloads across suites, with
+                    per-entry scale/workers/seed/reps overrides
+  -suite S          shorthand for a one-entry scenario selecting suite S
+  -format F         output format: text, markdown or json
+  -validate         validate and print the normalized scenario, then exit
+
+engine knobs (run, figure1, experiments — shared):
+  -scale N          workload input scale
+  -seed N           workload seed
   -workers N        concurrent workloads in the engine pool (0 = one per CPU)
   -reps N           measured repetitions per workload; the median is reported
   -warmup N         unmeasured warmup runs per workload
   -timeout D        per-run deadline (e.g. 30s); overrunning runs are cancelled
   -stack-workers N  parallelism of the simulated stack inside each workload
-  -progress         stream per-repetition progress to stderr (run only)
+  -progress         stream per-repetition progress to stderr
 
 Workload outputs (counters, verification) are seed-deterministic at any
 -workers setting; only timings vary with parallelism.

@@ -1,0 +1,27 @@
+// Package media is the public facade over bdbench's unstructured binary
+// media generation (CloudSuite's media-serving source).
+package media
+
+import (
+	"github.com/bdbench/bdbench/internal/datagen/media"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// Header describes one generated video blob.
+type Header = media.Header
+
+// GenerateVideo produces one synthetic video blob.
+func GenerateVideo(g *stats.RNG, frames, frameSize int) []byte {
+	return media.GenerateVideo(g, frames, frameSize)
+}
+
+// ParseHeader decodes a blob's header.
+func ParseHeader(blob []byte) (Header, error) { return media.ParseHeader(blob) }
+
+// Frame extracts frame i from a blob.
+func Frame(blob []byte, h Header, i int) ([]byte, error) { return media.Frame(blob, h, i) }
+
+// Library generates a collection of video blobs.
+func Library(g *stats.RNG, count, meanFrames int) [][]byte {
+	return media.Library(g, count, meanFrames)
+}

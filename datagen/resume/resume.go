@@ -1,0 +1,18 @@
+// Package resume is the public facade over bdbench's semi-structured
+// resume generation (BigDataBench's personal-resume source).
+package resume
+
+import "github.com/bdbench/bdbench/internal/datagen/resume"
+
+// Resume is one generated record.
+type Resume = resume.Resume
+
+// Generator produces resumes; set its text model to control summary
+// veracity.
+type Generator = resume.Generator
+
+// MarshalJSONL renders resumes as JSON lines.
+func MarshalJSONL(rs []Resume) (string, error) { return resume.MarshalJSONL(rs) }
+
+// ParseJSONL parses JSON-lines resumes.
+func ParseJSONL(s string) ([]Resume, error) { return resume.ParseJSONL(s) }

@@ -1,0 +1,18 @@
+// Package weblog is the public facade over bdbench's semi-structured web
+// log generation: click logs derived from structured tables
+// (BigBench-style), so their veracity rides on the tables'.
+package weblog
+
+import "github.com/bdbench/bdbench/internal/datagen/weblog"
+
+// Record is one parsed log line.
+type Record = weblog.Record
+
+// Generator derives click logs from an orders table.
+type Generator = weblog.Generator
+
+// Parse parses one formatted log line.
+func Parse(line string) (Record, error) { return weblog.Parse(line) }
+
+// FormatAll renders records as log text.
+func FormatAll(records []Record) string { return weblog.FormatAll(records) }

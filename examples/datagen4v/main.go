@@ -1,7 +1,8 @@
 // The datagen4v example demonstrates the 4V properties of bdbench's data
-// generators one axis at a time: volume scaling, velocity control (rate,
-// update frequency and processing speed), variety of data sources, and
-// measured veracity across the three generator families.
+// generators one axis at a time via the public datagen facades: volume
+// scaling, velocity control (rate, update frequency and processing speed),
+// variety of data sources, and measured veracity across the three
+// generator families.
 //
 //	go run ./examples/datagen4v
 package main
@@ -11,15 +12,14 @@ import (
 	"log"
 	"time"
 
-	"github.com/bdbench/bdbench/internal/datagen"
-	"github.com/bdbench/bdbench/internal/datagen/media"
-	"github.com/bdbench/bdbench/internal/datagen/resume"
-	"github.com/bdbench/bdbench/internal/datagen/streamgen"
-	"github.com/bdbench/bdbench/internal/datagen/tablegen"
-	"github.com/bdbench/bdbench/internal/datagen/textgen"
-	"github.com/bdbench/bdbench/internal/datagen/veracity"
-	"github.com/bdbench/bdbench/internal/datagen/weblog"
-	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/datagen"
+	"github.com/bdbench/bdbench/datagen/media"
+	"github.com/bdbench/bdbench/datagen/resume"
+	"github.com/bdbench/bdbench/datagen/streamgen"
+	"github.com/bdbench/bdbench/datagen/tablegen"
+	"github.com/bdbench/bdbench/datagen/textgen"
+	"github.com/bdbench/bdbench/datagen/veracity"
+	"github.com/bdbench/bdbench/datagen/weblog"
 )
 
 func main() {
@@ -43,7 +43,7 @@ func main() {
 	fmt.Printf("  generation rate: target 5000/s, achieved %.0f/s\n", probe.Rate())
 
 	gen := streamgen.Generator{EventsPerSec: 100000, Mix: streamgen.Mix{UpdateFraction: 0.25, DeleteFraction: 0.05}}
-	events := gen.Generate(stats.NewRNG(2), 20000)
+	events := gen.Generate(datagen.NewRNG(2), 20000)
 	updates := 0
 	for _, e := range events {
 		if e.Kind == streamgen.OpUpdate {
@@ -61,14 +61,14 @@ func main() {
 	fmt.Printf("  text:    %d documents (unstructured)\n", len(corpus))
 	orders := tablegen.ReferenceTable(3, 500)
 	fmt.Printf("  table:   %d rows x %d cols (structured)\n", orders.NumRows(), len(orders.Schema.Cols))
-	logs, err := weblog.Generator{}.FromTable(stats.NewRNG(4), orders, 200)
+	logs, err := weblog.Generator{}.FromTable(datagen.NewRNG(4), orders, 200)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  weblog:  %d lines (semi-structured, derived from tables)\n", len(logs))
-	resumes := resume.Generator{}.Generate(stats.NewRNG(5), 100)
+	resumes := resume.Generator{}.Generate(datagen.NewRNG(5), 100)
 	fmt.Printf("  resume:  %d records (semi-structured)\n", len(resumes))
-	blobs := media.Library(stats.NewRNG(6), 20, 30)
+	blobs := media.Library(datagen.NewRNG(6), 20, 30)
 	totalBytes := 0
 	for _, b := range blobs {
 		totalBytes += len(b)
@@ -86,22 +86,22 @@ func main() {
 		}
 		return r.Score()
 	}
-	random := textgen.RandomText{Dictionary: vocab.Words()}.Generate(stats.NewRNG(8), 150, 60)
+	random := textgen.RandomText{Dictionary: vocab.Words()}.Generate(datagen.NewRNG(8), 150, 60)
 	fmt.Printf("  random text (HiBench-style):      %.4f\n", score(random))
 	markov := textgen.NewMarkov(1)
 	if err := markov.Train(raw); err != nil {
 		log.Fatal(err)
 	}
-	mk, err := markov.Generate(stats.NewRNG(9), 150, 60)
+	mk, err := markov.Generate(datagen.NewRNG(9), 150, 60)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  markov chain:                     %.4f\n", score(mk))
 	lda := textgen.NewLDA(4, 0, 0)
-	if err := lda.Train(raw, 30, stats.NewRNG(10)); err != nil {
+	if err := lda.Train(raw, 30, datagen.NewRNG(10)); err != nil {
 		log.Fatal(err)
 	}
-	ld, err := lda.Generate(stats.NewRNG(11), 150, 60)
+	ld, err := lda.Generate(datagen.NewRNG(11), 150, 60)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,21 +1,22 @@
 // The ecommerce example walks the e-commerce application domain: generate
 // the orders fact table, derive web logs from it (BigBench-style), answer
 // business questions in SQL on the DBMS substrate, and produce
-// recommendations with item-based collaborative filtering.
+// recommendations with the registered collaborative-filtering workload via
+// the public API.
 //
 //	go run ./examples/ecommerce
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
 
-	"github.com/bdbench/bdbench/internal/datagen/tablegen"
-	"github.com/bdbench/bdbench/internal/datagen/weblog"
-	"github.com/bdbench/bdbench/internal/stacks/dbms"
-	"github.com/bdbench/bdbench/internal/stats"
-	"github.com/bdbench/bdbench/internal/workloads/commerce"
+	bdbench "github.com/bdbench/bdbench"
+	"github.com/bdbench/bdbench/datagen"
+	"github.com/bdbench/bdbench/datagen/tablegen"
+	"github.com/bdbench/bdbench/datagen/weblog"
+	"github.com/bdbench/bdbench/stacks/dbms"
 )
 
 func main() {
@@ -23,7 +24,7 @@ func main() {
 	orders := tablegen.ReferenceTable(7, 20000)
 
 	// 2. Semi-structured data derived from it: the click log.
-	logs, err := weblog.Generator{}.FromTable(stats.NewRNG(8), orders, 5000)
+	logs, err := weblog.Generator{}.FromTable(datagen.NewRNG(8), orders, 5000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,47 +53,23 @@ func main() {
 	}
 	fmt.Printf("express EU orders: %d\n", express.Rows[0][0].Int())
 
-	// 4. Recommendations: item-based CF over a rating matrix.
-	g := stats.NewRNG(9)
-	ratings := commerce.GenerateRatings(g, 2000, 80, 12)
-	vecs := make([]map[int]float64, 80)
-	for i := range vecs {
-		vecs[i] = map[int]float64{}
+	// 4. Recommendations: the registered collaborative-filtering workload
+	// (item-based CF over a planted-taste rating matrix, verified
+	// internally) selected by name through the public scenario API.
+	out, err := bdbench.Run(context.Background(), bdbench.Scenario{
+		Name:    "recommendations",
+		Entries: []bdbench.Entry{{Workload: "collaborative-filtering"}},
+		Seed:    9,
+		Workers: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, r := range ratings {
-		vecs[r.Item][r.User] = r.Score
+	cf := out.Results[0].Result
+	fmt.Println("\ncollaborative filtering:")
+	fmt.Printf("  processed %d ratings at %.0f ops/s (domain: %s)\n",
+		cf.Counters["records"], cf.Throughput, out.Results[0].Domain)
+	for _, op := range cf.Ops {
+		fmt.Printf("  %-12s n=%-6d mean=%v\n", op.Op, op.Count, op.Mean)
 	}
-	norms := make([]float64, 80)
-	for i, v := range vecs {
-		s := 0.0
-		for _, x := range v {
-			s += x * x
-		}
-		norms[i] = math.Sqrt(s)
-	}
-	sim := func(a, b int) float64 {
-		if norms[a] == 0 || norms[b] == 0 {
-			return 0
-		}
-		dot := 0.0
-		for u, x := range vecs[a] {
-			if y, ok := vecs[b][u]; ok {
-				dot += x * y
-			}
-		}
-		return dot / (norms[a] * norms[b])
-	}
-	fmt.Println("\ntop recommendations for product 3:")
-	for _, item := range commerce.TopNRecommend(sim, 80, 3, 5) {
-		fmt.Printf("  product %2d (similarity %.3f)\n", item, sim(3, item))
-	}
-
-	// Sanity: the recommendations stay within product 3's taste group.
-	inGroup := 0
-	for _, item := range commerce.TopNRecommend(sim, 80, 3, 5) {
-		if item/20 == 3/20 {
-			inGroup++
-		}
-	}
-	fmt.Printf("%d/5 recommendations within the planted taste group\n", inGroup)
 }

@@ -1,7 +1,9 @@
-// The oltpserving example drives the cloud-serving (OLTP) domain: it loads
-// the NoSQL store, runs YCSB workloads A and B with concurrent clients, and
-// prints the latency profile — then shows the same abstract read/write test
-// executing on both the NoSQL store and the DBMS (the paper's system view).
+// The oltpserving example drives the cloud-serving (OLTP) domain through
+// the public API: it selects YCSB workloads A and B from the registry and
+// runs them with concurrent clients, prints the latency profile — then
+// registers a *custom* workload built from an abstract db-point-ops
+// prescription on two different stacks (the paper's system view) and
+// exports that run with the JSON reporter.
 //
 //	go run ./examples/oltpserving
 package main
@@ -10,26 +12,30 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"time"
+	"os"
 
-	"github.com/bdbench/bdbench/internal/metrics"
-	"github.com/bdbench/bdbench/internal/testgen"
-	"github.com/bdbench/bdbench/internal/workloads"
-	"github.com/bdbench/bdbench/internal/workloads/oltp"
+	bdbench "github.com/bdbench/bdbench"
 )
 
 func main() {
-	// YCSB A (update-heavy) and B (read-mostly).
-	for _, w := range []oltp.CoreWorkload{oltp.WorkloadA, oltp.WorkloadB} {
-		c := metrics.NewCollector(w.Name())
-		t0 := time.Now()
-		if err := w.Run(context.Background(), workloads.Params{Seed: 21, Scale: 1, Workers: 8}, c); err != nil {
-			log.Fatal(err)
-		}
-		c.SetElapsed(time.Since(t0))
-		r := c.Snapshot()
-		fmt.Printf("%s: %.0f ops/s\n", r.Name, r.Throughput)
-		for _, op := range r.Ops {
+	// YCSB A (update-heavy) and B (read-mostly), selected by name.
+	scenario := bdbench.Scenario{
+		Name: "oltp serving",
+		Entries: []bdbench.Entry{
+			{Suite: "YCSB", Workload: "ycsb-A"},
+			{Suite: "YCSB", Workload: "ycsb-B"},
+		},
+		Seed:    21,
+		Scale:   1,
+		Workers: 8,
+	}
+	out, err := bdbench.Run(context.Background(), scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range out.Results {
+		fmt.Printf("%s: %.0f ops/s\n", r.Workload, r.Result.Throughput)
+		for _, op := range r.Result.Ops {
 			if op.Op == "load" {
 				continue
 			}
@@ -37,20 +43,41 @@ func main() {
 		}
 	}
 
-	// The same abstract point-operation test on two different stack types.
+	// The same abstract point-operation prescription as a custom workload
+	// on two different stack types — registered in an isolated registry and
+	// run through the same public entry point (functional view: both
+	// produce the same outcome, only the latencies differ).
 	fmt.Println("\nabstract db-point-ops prescription across stacks (functional view):")
-	repo := testgen.NewRepository()
-	p, err := repo.Get("db-point-ops")
-	if err != nil {
-		log.Fatal(err)
-	}
-	reg := testgen.NewRegistry()
-	for name, factory := range testgen.DefaultExecutors(4) {
-		c := metrics.NewCollector(name)
-		out, err := testgen.RunOn(factory(), p, reg, c)
+	registry := bdbench.NewRegistry()
+	for _, stack := range []string{"nosql", "dbms"} {
+		w, err := bdbench.NewPrescriptionWorkload(bdbench.PrescriptionConfig{
+			Name:         "point-ops@" + stack,
+			Prescription: "db-point-ops",
+			Stack:        stack,
+			Domain:       "cloud OLTP",
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-10s -> %d record(s), value %q\n", name, len(out), out[0].Value)
+		if err := registry.RegisterWorkload(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	custom := bdbench.Scenario{
+		Name:    "custom prescription workloads",
+		Entries: []bdbench.Entry{{Domain: "cloud OLTP"}},
+		Seed:    4,
+	}
+	customOut, err := bdbench.Run(context.Background(), custom, bdbench.WithRegistry(registry))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range customOut.Results {
+		fmt.Printf("  %-16s -> %d record(s)\n", r.Workload, r.Result.Counters["records"])
+	}
+
+	fmt.Println("\nJSON export of the custom-workload run:")
+	if err := bdbench.NewJSONReporter().Report(os.Stdout, customOut); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,23 +1,24 @@
-// The quickstart example runs one complete benchmarking pass: it builds a
-// plan (Figure 1 step 1), lets bdbench generate data, generate tests,
-// execute them on the simulated stacks, and prints the analyzed results.
+// The quickstart example runs one complete benchmarking pass through the
+// public bdbench API: declare a scenario (Figure 1 step 1), let bdbench
+// generate data, generate tests, execute them on the simulated stacks, and
+// print the analyzed results.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"github.com/bdbench/bdbench/internal/core"
-	"github.com/bdbench/bdbench/internal/metrics"
+	bdbench "github.com/bdbench/bdbench"
 )
 
 func main() {
-	out, err := core.Run(core.Plan{
-		Object:  "quickstart: is my cluster's batch tier healthy?",
-		Suite:   "GridMix", // small inventory: sort + sampling
+	scenario := bdbench.Scenario{
+		Name:    "quickstart: is my cluster's batch tier healthy?",
+		Entries: []bdbench.Entry{{Suite: "GridMix"}}, // small inventory: sort + sampling
 		Scale:   1,
 		Workers: 4,
 		Seed:    2014,
@@ -28,10 +29,11 @@ func main() {
 		Parallel: 4,
 		Reps:     3,
 		Warmup:   1,
-		Timeout:  time.Minute,
-		Energy:   metrics.DefaultEnergyModel,
-		Cost:     metrics.DefaultCostModel,
-	})
+		Timeout:  bdbench.Duration(time.Minute),
+		Energy:   bdbench.DefaultEnergyModel,
+		Cost:     bdbench.DefaultCostModel,
+	}
+	out, err := bdbench.Run(context.Background(), scenario, bdbench.WithDataProbes())
 	if err != nil {
 		log.Fatal(err)
 	}

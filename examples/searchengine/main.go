@@ -1,7 +1,8 @@
 // The searchengine example exercises the search-engine application domain
-// end to end: generate a document corpus with the LDA model, build an
-// inverted index with a MapReduce job, rank a hyperlink graph with PageRank
-// on the BSP engine, and answer a query by combining both.
+// end to end on the public facades: generate a document corpus with the
+// LDA model, build an inverted index with a MapReduce job, rank a
+// hyperlink graph with PageRank on the BSP engine, and answer a query by
+// combining both.
 //
 //	go run ./examples/searchengine
 package main
@@ -13,11 +14,11 @@ import (
 	"strconv"
 	"strings"
 
-	"github.com/bdbench/bdbench/internal/datagen/graphgen"
-	"github.com/bdbench/bdbench/internal/datagen/textgen"
-	"github.com/bdbench/bdbench/internal/stacks/graphengine"
-	"github.com/bdbench/bdbench/internal/stacks/mapreduce"
-	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/datagen"
+	"github.com/bdbench/bdbench/datagen/graphgen"
+	"github.com/bdbench/bdbench/datagen/textgen"
+	"github.com/bdbench/bdbench/stacks/graphengine"
+	"github.com/bdbench/bdbench/stacks/mapreduce"
 )
 
 func main() {
@@ -26,10 +27,10 @@ func main() {
 	// 1. Text data: learn from the "real" corpus, then synthesize pages.
 	raw := textgen.ReferenceCorpus(1, 200, 60)
 	lda := textgen.NewLDA(4, 0, 0)
-	if err := lda.Train(raw, 25, stats.NewRNG(2)); err != nil {
+	if err := lda.Train(raw, 25, datagen.NewRNG(2)); err != nil {
 		log.Fatal(err)
 	}
-	pages, err := lda.Generate(stats.NewRNG(3), nDocs, 50)
+	pages, err := lda.Generate(datagen.NewRNG(3), nDocs, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func main() {
 	fmt.Printf("indexed %d pages, %d terms (%d bytes shuffled)\n", nDocs, len(index), st.ShuffleBytes)
 
 	// 3. Rank the link graph (RMAT web graph over the same page ids).
-	g := graphgen.DefaultRMAT.Generate(stats.NewRNG(4), 10) // 2^10 pages
+	g := graphgen.DefaultRMAT.Generate(datagen.NewRNG(4), 10) // 2^10 pages
 	res, err := graphengine.New(8).Run(g, graphengine.PageRank{}, 20)
 	if err != nil {
 		log.Fatal(err)

@@ -1,7 +1,8 @@
 // The socialnetwork example covers the social-network application domain:
 // generate a preferential-attachment friendship graph, find communities'
-// connected components on the BSP engine, cluster user embeddings with
-// MapReduce k-means, and stream the activity feed through windowed counts.
+// connected components on the BSP engine, cluster user embeddings with the
+// registered k-means workload via the public API, and stream the activity
+// feed through windowed counts.
 //
 //	go run ./examples/socialnetwork
 package main
@@ -12,19 +13,17 @@ import (
 	"log"
 	"time"
 
-	"github.com/bdbench/bdbench/internal/datagen/graphgen"
-	"github.com/bdbench/bdbench/internal/datagen/streamgen"
-	"github.com/bdbench/bdbench/internal/metrics"
-	"github.com/bdbench/bdbench/internal/stacks/graphengine"
-	"github.com/bdbench/bdbench/internal/stacks/streaming"
-	"github.com/bdbench/bdbench/internal/stats"
-	"github.com/bdbench/bdbench/internal/workloads"
-	"github.com/bdbench/bdbench/internal/workloads/social"
+	bdbench "github.com/bdbench/bdbench"
+	"github.com/bdbench/bdbench/datagen"
+	"github.com/bdbench/bdbench/datagen/graphgen"
+	"github.com/bdbench/bdbench/datagen/streamgen"
+	"github.com/bdbench/bdbench/stacks/graphengine"
+	"github.com/bdbench/bdbench/stacks/streaming"
 )
 
 func main() {
 	// 1. The social graph: 2^12 users, preferential attachment.
-	g := graphgen.BarabasiAlbert{M: 3}.Generate(stats.NewRNG(11), 12)
+	g := graphgen.BarabasiAlbert{M: 3}.Generate(datagen.NewRNG(11), 12)
 	fmt.Printf("social graph: %d users, %d friendships\n", g.N, g.NumEdges())
 	hubs := g.TopDegreeVertices(3)
 	fmt.Printf("most-followed users: %v\n", hubs)
@@ -41,31 +40,38 @@ func main() {
 	}
 	fmt.Printf("communities: %d (BA graphs are connected, so expect 1)\n", len(labels))
 
-	// 3. User clustering: the k-means workload (iterated MapReduce).
-	c := metrics.NewCollector("kmeans")
-	if err := (social.KMeans{K: 4, Iterations: 8}).Run(context.Background(), workloads.Params{Seed: 12, Scale: 2, Workers: 8}, c); err != nil {
+	// 3. User clustering: the registered k-means workload (iterated
+	// MapReduce) selected by name through the public scenario API.
+	out, err := bdbench.Run(context.Background(), bdbench.Scenario{
+		Name:    "user clustering",
+		Entries: []bdbench.Entry{{Workload: "kmeans"}},
+		Seed:    12,
+		Scale:   2,
+		Workers: 8,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	c.SetElapsed(time.Second)
+	km := out.Results[0].Result
 	fmt.Printf("k-means: clustered %d user embeddings in %d iterations\n",
-		c.Counter("records"), c.Counter("iterations"))
+		km.Counters["records"], km.Counters["iterations"])
 
 	// 4. The activity stream: zipf-skewed events through a tumbling window.
 	gen := streamgen.Generator{
 		EventsPerSec: 20000,
 		KeySpace:     int64(g.N),
-		KeyChooser:   stats.Zipf{Count: g.N, S: 1.2},
+		KeyChooser:   datagen.Zipf{Count: g.N, S: 1.2},
 	}
-	events := gen.Generate(stats.NewRNG(13), 40000)
+	events := gen.Generate(datagen.NewRNG(13), 40000)
 	eng := streaming.New(512)
-	out := eng.Run(events, streaming.TumblingWindow{Size: 500 * time.Millisecond})
+	sOut := eng.Run(events, streaming.TumblingWindow{Size: 500 * time.Millisecond})
 	fmt.Printf("activity stream: %d events -> %d windowed per-user counts at %.0f ev/s\n",
-		len(events), len(out.Out), out.Rate)
+		len(events), len(sOut.Out), sOut.Rate)
 
 	// The hottest user in the stream should be one of the zipf head keys.
 	var maxCount float64
 	var hottest string
-	for _, m := range out.Out {
+	for _, m := range sOut.Out {
 		if m.Value > maxCount {
 			maxCount, hottest = m.Value, m.Key
 		}

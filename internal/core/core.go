@@ -1,8 +1,10 @@
 // Package core implements the benchmarking process of Figure 1 — Planning →
 // Data Generation → Test Generation → Execution → Analysis & Evaluation —
 // and the three-layer architecture of Figure 2 (user interface layer,
-// function layer, execution layer). It is the orchestration glue over the
-// datagen, testgen, suites, stacks and metrics packages.
+// function layer, execution layer). Since the scenario layer became the
+// public composition surface, core is a thin consumer of it: a Plan is
+// exactly a one-entry Scenario that selects a whole suite, and RunContext
+// delegates to the shared scenario runner with data probes enabled.
 package core
 
 import (
@@ -11,8 +13,8 @@ import (
 	"time"
 
 	"github.com/bdbench/bdbench/internal/datagen/veracity"
-	"github.com/bdbench/bdbench/internal/engine"
 	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/scenario"
 	"github.com/bdbench/bdbench/internal/suites"
 	"github.com/bdbench/bdbench/internal/testgen"
 	"github.com/bdbench/bdbench/internal/workloads"
@@ -20,7 +22,9 @@ import (
 
 // Plan is the Planning step's outcome: the benchmarking object, application
 // domain and evaluation metrics (§2, Figure 1), expressed as bdbench
-// configuration.
+// configuration. It is the single-suite special case of a scenario Spec;
+// Spec converts, and validation and defaulting both go through the
+// scenario path so they happen exactly once.
 type Plan struct {
 	// Object names what is being benchmarked (free text for the report).
 	Object string
@@ -49,46 +53,51 @@ type Plan struct {
 	Cost   metrics.CostModel
 }
 
-// Validate checks the plan against the available suites.
+// Spec converts the plan into its scenario form: one entry selecting the
+// whole suite, with the plan's sizing and engine settings scenario-wide.
+func (p Plan) Spec() scenario.Spec {
+	return scenario.Spec{
+		Name:     p.Object,
+		Entries:  []scenario.Entry{{Suite: p.Suite}},
+		Scale:    p.Scale,
+		Workers:  p.Workers,
+		Seed:     p.Seed,
+		Parallel: p.Parallel,
+		Reps:     p.Reps,
+		Warmup:   p.Warmup,
+		Timeout:  scenario.Duration(p.Timeout),
+		Energy:   p.Energy,
+		Cost:     p.Cost,
+	}
+}
+
+// Validate checks the plan via scenario validation: unknown suites, empty
+// inventories and negative settings are rejected, and defaults are those
+// of Spec.Normalized.
 func (p Plan) Validate() error {
 	if p.Suite == "" {
 		return fmt.Errorf("core: plan needs a suite")
 	}
-	if _, ok := suites.ByName(p.Suite); !ok {
-		return fmt.Errorf("core: unknown suite %q", p.Suite)
-	}
-	if p.Scale < 0 || p.Workers < 0 {
-		return fmt.Errorf("core: negative scale or workers")
-	}
-	if p.Parallel < 0 || p.Reps < 0 || p.Warmup < 0 || p.Timeout < 0 {
-		return fmt.Errorf("core: negative engine settings")
+	if err := p.Spec().Validate(scenario.Default()); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
 
-// EngineConfig derives the execution-engine settings from the plan.
-func (p Plan) EngineConfig() engine.Config {
-	return engine.Config{Workers: p.Parallel, Reps: p.Reps, Warmup: p.Warmup, Timeout: p.Timeout}
-}
-
 // Step names the five steps of Figure 1.
-type Step string
+type Step = scenario.Step
 
 // The benchmarking process steps.
 const (
-	StepPlanning       Step = "planning"
-	StepDataGeneration Step = "data generation"
-	StepTestGeneration Step = "test generation"
-	StepExecution      Step = "execution"
-	StepAnalysis       Step = "analysis & evaluation"
+	StepPlanning       = scenario.StepPlanning
+	StepDataGeneration = scenario.StepDataGeneration
+	StepTestGeneration = scenario.StepTestGeneration
+	StepExecution      = scenario.StepExecution
+	StepAnalysis       = scenario.StepAnalysis
 )
 
 // StepTrace records one executed step.
-type StepTrace struct {
-	Step     Step
-	Detail   string
-	Duration time.Duration
-}
+type StepTrace = scenario.StepTrace
 
 // Outcome is the full result of one benchmarking process run.
 type Outcome struct {
@@ -96,7 +105,7 @@ type Outcome struct {
 	Steps []StepTrace
 	// Results carries one entry per workload, each with its representative
 	// (median) result and every measured repetition.
-	Results []suites.SuiteRunResult
+	Results []scenario.Result
 	// Summary is the Analysis step's digest: per-category mean throughput.
 	Summary map[workloads.Category]float64
 	// Veracity carries the data-generation step's §5.1 measurements.
@@ -112,90 +121,32 @@ func Run(plan Plan) (*Outcome, error) {
 	return RunContext(context.Background(), plan)
 }
 
-// RunContext executes the five-step benchmarking process for the plan.
+// RunContext executes the five-step benchmarking process for the plan by
+// delegating to the scenario runner with data-generation probes enabled.
 // Cancelling ctx aborts in-flight workload executions; their results report
 // the context error.
 func RunContext(ctx context.Context, plan Plan) (*Outcome, error) {
-	out := &Outcome{Plan: plan}
-	record := func(s Step, detail string, t0 time.Time) {
-		out.Steps = append(out.Steps, StepTrace{Step: s, Detail: detail, Duration: time.Since(t0)})
+	if plan.Suite == "" {
+		return nil, fmt.Errorf("core: plan needs a suite")
 	}
-
-	// Step 1: Planning — validate the object, domain and metric choices.
-	t0 := time.Now()
-	if err := plan.Validate(); err != nil {
+	o, err := scenario.Run(ctx, plan.Spec(), scenario.Options{ProbeData: true})
+	if o == nil {
 		return nil, err
 	}
-	suite, _ := suites.ByName(plan.Suite)
-	record(StepPlanning, fmt.Sprintf("object=%q suite=%s scale=%d", plan.Object, suite.Name, plan.Scale), t0)
-
-	// Step 2: Data generation — probe the suite's generators (volume and
-	// veracity evidence); workloads regenerate their own inputs at run
-	// time from the same seeds. A cancelled context aborts before the
-	// (potentially expensive) probes run.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	out := &Outcome{
+		Plan:    plan,
+		Steps:   o.Steps,
+		Results: o.Results,
+		Summary: o.Summary,
 	}
-	t1 := time.Now()
-	volume, volumeEvidence := suites.ProbeVolume(suite)
-	out.Volume, out.VolumeEvidence = volume, volumeEvidence
-	level, details, err := suites.ProbeVeracity(suite, plan.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("core: data generation: %w", err)
-	}
-	out.Veracity = details
-	record(StepDataGeneration, fmt.Sprintf("volume=%s veracity=%s sources=%d", volume, level, len(suite.Sources())), t1)
-
-	// Step 3: Test generation — materialize the workload inventory and
-	// validate the abstract-test machinery against this suite's stacks.
-	t2 := time.Now()
-	inventory := suite.Workloads()
-	if len(inventory) == 0 {
-		return nil, fmt.Errorf("core: suite %q has no workloads", suite.Name)
-	}
-	record(StepTestGeneration, fmt.Sprintf("%d workloads across %d categories", len(inventory), len(suite.Rows)), t2)
-
-	// Step 4: Execution — the concurrent engine schedules the inventory
-	// onto a bounded worker pool with the plan's repetition and deadline
-	// settings.
-	t3 := time.Now()
-	params := workloads.Params{Seed: plan.Seed, Scale: plan.Scale, Workers: plan.Workers}.WithDefaults()
-	cfg := plan.EngineConfig()
-	out.Results = suites.RunSuiteEngine(ctx, suite, params, cfg)
-	reps := cfg.Reps
-	if reps <= 0 {
-		reps = 1
-	}
-	record(StepExecution, fmt.Sprintf("%d workloads executed (reps=%d warmup=%d timeout=%v)",
-		len(out.Results), reps, cfg.Warmup, cfg.Timeout), t3)
-
-	// Step 5: Analysis & evaluation.
-	t4 := time.Now()
-	out.Summary = map[workloads.Category]float64{}
-	counts := map[workloads.Category]int{}
-	failures := 0
-	for i := range out.Results {
-		r := &out.Results[i]
-		if r.Err != nil {
-			failures++
-			continue
-		}
-		if plan.Energy.Nodes > 0 || plan.Cost.Nodes > 0 {
-			metrics.Apply(&r.Result, plan.Energy, plan.Cost, r.Result.Elapsed)
-		}
-		out.Summary[r.Category] += r.Result.Throughput
-		counts[r.Category]++
-	}
-	for cat, total := range out.Summary {
-		if counts[cat] > 0 {
-			out.Summary[cat] = total / float64(counts[cat])
+	for _, p := range o.Probes {
+		if p.Suite == plan.Suite {
+			out.Veracity = p.Sources
+			out.Volume = p.Volume
+			out.VolumeEvidence = p.VolumeEvidence
 		}
 	}
-	record(StepAnalysis, fmt.Sprintf("%d categories summarized, %d failures", len(out.Summary), failures), t4)
-	if failures > 0 {
-		return out, fmt.Errorf("core: %d workload(s) failed", failures)
-	}
-	return out, nil
+	return out, err
 }
 
 // VeracityLevel returns the combined veracity level measured during the

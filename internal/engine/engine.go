@@ -63,6 +63,10 @@ type Task struct {
 	Workload workloads.Workload
 	Category workloads.Category
 	Params   workloads.Params
+	// Reps, when positive, overrides Config.Reps for this task only —
+	// scenario entries use it to repeat selected workloads more (or fewer)
+	// times than the rest of the run.
+	Reps int
 }
 
 // Rep is the outcome of one measured repetition.
@@ -203,8 +207,12 @@ func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event))
 		}
 	}
 
+	reps := cfg.Reps
+	if t.Reps > 0 {
+		reps = t.Reps
+	}
 	var throughput, elapsed stats.Summary
-	for r := 0; r < cfg.Reps; r++ {
+	for r := 0; r < reps; r++ {
 		rep := runOnce(ctx, t, cfg.Timeout)
 		res.Reps = append(res.Reps, rep)
 		emit(Event{Kind: EventRepDone, Workload: res.Workload, Task: idx, Rep: r,

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/scenario"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// This file implements scenario.Reporter — the pluggable exporters behind
+// the public bdbench API and the CLI's -format flag. Each reporter renders
+// a scenario Outcome: the text and markdown reporters produce result
+// tables with a per-category summary, the JSON reporter exports the whole
+// outcome for downstream tooling.
+
+// TextReporter renders the outcome as aligned-text tables.
+type TextReporter struct{}
+
+// Format implements scenario.Reporter.
+func (TextReporter) Format() string { return "text" }
+
+// Report implements scenario.Reporter.
+func (TextReporter) Report(w io.Writer, o *scenario.Outcome) error {
+	if _, err := io.WriteString(w, Table(outcomeHeaders, outcomeRows(o))); err != nil {
+		return err
+	}
+	return writeSummary(w, o, "")
+}
+
+// MarkdownReporter renders the outcome as GitHub-flavored markdown.
+type MarkdownReporter struct{}
+
+// Format implements scenario.Reporter.
+func (MarkdownReporter) Format() string { return "markdown" }
+
+// Report implements scenario.Reporter.
+func (MarkdownReporter) Report(w io.Writer, o *scenario.Outcome) error {
+	if _, err := io.WriteString(w, Markdown(outcomeHeaders, outcomeRows(o))); err != nil {
+		return err
+	}
+	return writeSummary(w, o, "**")
+}
+
+// JSONReporter exports the full outcome — normalized spec, step trace,
+// per-workload results with repetitions, summary and probes — as JSON.
+type JSONReporter struct {
+	// Compact disables indentation.
+	Compact bool
+}
+
+// Format implements scenario.Reporter.
+func (JSONReporter) Format() string { return "json" }
+
+// Report implements scenario.Reporter.
+func (r JSONReporter) Report(w io.Writer, o *scenario.Outcome) error {
+	enc := json.NewEncoder(w)
+	if !r.Compact {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(o); err != nil {
+		return fmt.Errorf("report: json: %w", err)
+	}
+	return nil
+}
+
+var outcomeHeaders = []string{"workload", "suite", "category", "elapsed", "ops/s", "reps", "status"}
+
+func outcomeRows(o *scenario.Outcome) [][]string {
+	rows := make([][]string, 0, len(o.Results))
+	for _, r := range o.Results {
+		status := "ok"
+		if r.Err != nil {
+			status = "FAIL: " + r.Err.Error()
+		} else if r.Error != "" {
+			status = "FAIL: " + r.Error
+		}
+		// The ops/s cell is always the median repetition (matching elapsed);
+		// with several reps the spread across them is shown alongside.
+		tput := fmt.Sprintf("%.0f", r.Result.Throughput)
+		if len(r.Reps) > 1 {
+			tput = fmt.Sprintf("%.0f ±%.0f", r.Result.Throughput, r.Throughput.StdDev)
+		}
+		suite := r.Suite
+		if suite == "" {
+			suite = "-"
+		}
+		rows = append(rows, []string{
+			r.Workload, suite, string(r.Category),
+			r.Result.Elapsed.Round(time.Millisecond).String(),
+			tput,
+			fmt.Sprintf("%d", len(r.Reps)),
+			status,
+		})
+	}
+	return rows
+}
+
+// writeSummary appends the per-category digest and probe evidence; em
+// wraps emphasized labels (markdown bolding, empty for text).
+func writeSummary(w io.Writer, o *scenario.Outcome, em string) error {
+	if len(o.Summary) > 0 {
+		if _, err := fmt.Fprintf(w, "\n%ssummary (mean ops/s by category)%s\n", em, em); err != nil {
+			return err
+		}
+		for _, cat := range []workloads.Category{workloads.Online, workloads.Offline, workloads.Realtime} {
+			if v, ok := o.Summary[cat]; ok {
+				if _, err := fmt.Fprintf(w, "  %-22s %12.0f\n", cat, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, p := range o.Probes {
+		if _, err := fmt.Fprintf(w, "%sdata generation probe%s: suite=%s volume=%q veracity=%q\n",
+			em, em, p.Suite, p.Volume, p.Veracity); err != nil {
+			return err
+		}
+	}
+	if o.Failures > 0 {
+		if _, err := fmt.Fprintf(w, "%s%d workload(s) failed%s\n", em, o.Failures, em); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/scenario"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+func sampleOutcome() *scenario.Outcome {
+	return &scenario.Outcome{
+		Spec: scenario.Spec{Name: "sample", Entries: []scenario.Entry{{Suite: "S"}}}.Normalized(),
+		Results: []scenario.Result{
+			{
+				Suite: "S", Workload: "w1", Category: workloads.Online,
+				Result: metrics.Result{Name: "w1", Elapsed: 120 * time.Millisecond, Throughput: 1000},
+				Reps:   []metrics.Result{{}, {}},
+			},
+			{
+				Workload: "w2", Category: workloads.Offline,
+				Err: errors.New("boom"), Error: "boom",
+			},
+		},
+		Summary:  map[workloads.Category]float64{workloads.Online: 1000},
+		Failures: 1,
+	}
+}
+
+func TestTextReporter(t *testing.T) {
+	var b strings.Builder
+	if err := (TextReporter{}).Report(&b, sampleOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"w1", "FAIL: boom", "online services", "1 workload(s) failed", "1000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownReporter(t *testing.T) {
+	var b strings.Builder
+	if err := (MarkdownReporter{}).Report(&b, sampleOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "| workload |") || !strings.Contains(out, "| w1 |") {
+		t.Fatalf("markdown table malformed:\n%s", out)
+	}
+}
+
+func TestJSONReporterRoundTrips(t *testing.T) {
+	var b strings.Builder
+	if err := (JSONReporter{}).Report(&b, sampleOutcome()); err != nil {
+		t.Fatal(err)
+	}
+	var back scenario.Outcome
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if back.Spec.Name != "sample" || len(back.Results) != 2 {
+		t.Fatalf("decoded %+v", back)
+	}
+	if back.Results[1].Error != "boom" {
+		t.Fatalf("error not exported: %+v", back.Results[1])
+	}
+	if back.Failures != 1 {
+		t.Fatalf("failures %d", back.Failures)
+	}
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/testgen"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// PrescriptionConfig builds a custom workload from a testgen prescription —
+// the §5.2 "repository of reusable prescriptions" turned into a registrable
+// workload. This is how external callers extend the inventory without
+// writing a stack binding: pick a prescription, pick a stack, register the
+// result, select it from a scenario.
+type PrescriptionConfig struct {
+	// Name is the registered workload name; empty derives
+	// "<prescription>@<stack>".
+	Name string
+	// Category and Domain classify the workload in reports; they default to
+	// online services / "abstract operations".
+	Category workloads.Category
+	Domain   string
+	// Prescription names a recipe in the built-in repository (see
+	// testgen.NewRepository) or is satisfied by Recipe when set.
+	Prescription string
+	// Recipe, when non-nil, is used instead of looking Prescription up.
+	Recipe *testgen.Prescription
+	// Stack picks the executor: "reference", "dbms", "nosql" or
+	// "mapreduce".
+	Stack string
+}
+
+// NewPrescriptionWorkload validates the config and returns a Workload that
+// executes the prescription on the chosen stack. Params.Scale multiplies
+// the prescription's input size; Params.Workers drives the stack's
+// parallelism; outputs are deterministic in Params.Seed.
+func NewPrescriptionWorkload(cfg PrescriptionConfig) (workloads.Workload, error) {
+	var p testgen.Prescription
+	if cfg.Recipe != nil {
+		p = *cfg.Recipe
+	} else {
+		repo := testgen.NewRepository()
+		var err error
+		p, err = repo.Get(cfg.Prescription)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: prescription %q: %w (have: %s)",
+				cfg.Prescription, err, strings.Join(repo.Names(), ", "))
+		}
+	}
+	stack := cfg.Stack
+	if stack == "" {
+		stack = "reference"
+	}
+	execs := testgen.DefaultExecutors(1)
+	factory, ok := execs[stack]
+	if !ok {
+		names := make([]string, 0, len(execs))
+		for n := range execs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("scenario: unknown stack %q (have: %s)", stack, strings.Join(names, ", "))
+	}
+	w := &prescriptionWorkload{
+		name:      cfg.Name,
+		category:  cfg.Category,
+		domain:    cfg.Domain,
+		p:         p,
+		stack:     stack,
+		stackType: factory().StackType(),
+	}
+	if w.name == "" {
+		w.name = p.Name + "@" + stack
+	}
+	if w.category == "" {
+		w.category = workloads.Online
+	}
+	if w.domain == "" {
+		w.domain = "abstract operations"
+	}
+	return w, nil
+}
+
+// prescriptionWorkload runs one prescription on one stack executor.
+type prescriptionWorkload struct {
+	name      string
+	category  workloads.Category
+	domain    string
+	p         testgen.Prescription
+	stack     string
+	stackType stacks.Type
+}
+
+// Name implements workloads.Workload.
+func (w *prescriptionWorkload) Name() string { return w.name }
+
+// Category implements workloads.Workload.
+func (w *prescriptionWorkload) Category() workloads.Category { return w.category }
+
+// Domain implements workloads.Workload.
+func (w *prescriptionWorkload) Domain() string { return w.domain }
+
+// StackTypes implements workloads.Workload.
+func (w *prescriptionWorkload) StackTypes() []stacks.Type { return []stacks.Type{w.stackType} }
+
+// Run implements workloads.Workload: generate the prescription's data at
+// the requested scale, execute every step on the stack, and record the
+// outcome into the collector.
+func (w *prescriptionWorkload) Run(ctx context.Context, params workloads.Params, c *metrics.Collector) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p := w.p
+	if params.Scale > 1 {
+		p.Data.Size *= params.Scale
+		if p.Data.SecondSize > 0 {
+			p.Data.SecondSize *= params.Scale
+		}
+	}
+	if params.Seed != 0 {
+		p.Data.Seed = params.Seed
+	}
+	exec := testgen.DefaultExecutors(params.Workers)[w.stack]()
+	reg := testgen.NewRegistry()
+	t0 := time.Now()
+	out, err := testgen.RunOn(exec, p, reg, c)
+	if err != nil {
+		return fmt.Errorf("scenario: prescription %s on %s: %w", p.Name, w.stack, err)
+	}
+	c.ObserveLatency("prescription", time.Since(t0))
+	c.Add("records", int64(len(out)))
+	return ctx.Err()
+}

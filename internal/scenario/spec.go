@@ -1,0 +1,360 @@
+// Package scenario is the composition layer of the public bdbench API: a
+// declarative, JSON-round-trippable Scenario spec that selects workloads
+// *across* suite inventories (by suite, name, category, domain or stack,
+// with per-entry scale/seed/reps overrides), a registry where suites and
+// workloads are addressable by name, and a runner that drives the paper's
+// five-step benchmarking process over the selection on the concurrent
+// execution engine.
+//
+// The spec subsumes core.Plan: a plan is exactly a one-entry scenario that
+// selects a whole suite. Defaulting happens in one place — Normalized —
+// and Validate rejects everything else (negative sizes, unknown names,
+// empty selections) instead of silently rewriting it.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// Duration is a time.Duration that round-trips through JSON as a string
+// ("30s", "2m"); plain nanosecond numbers are accepted on input.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(raw []byte) error {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(raw, &ns); err != nil {
+		return fmt.Errorf("scenario: duration must be a string like %q or nanoseconds: %s", "30s", raw)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Entry is one selection of the spec: it picks workloads from a suite's
+// inventory or from the registry at large, optionally narrowed by name,
+// category, application domain or stack type. Zero override fields inherit
+// the scenario-wide values.
+type Entry struct {
+	// Suite selects from the named suite's inventory; empty means the whole
+	// workload registry.
+	Suite string `json:"suite,omitempty"`
+	// Workload picks a single workload by name.
+	Workload string `json:"workload,omitempty"`
+	// Category narrows to one of the paper's three workload categories
+	// ("online services", "offline analytics", "real-time analytics").
+	Category string `json:"category,omitempty"`
+	// Domain narrows to one application domain (e.g. "micro", "search
+	// engine", "cloud OLTP").
+	Domain string `json:"domain,omitempty"`
+	// Stack narrows to workloads that run on the given stack type
+	// ("mapreduce", "dbms", "nosql", "streaming", "graph").
+	Stack string `json:"stack,omitempty"`
+
+	// Scale, Workers, Seed and Reps override the scenario-wide settings for
+	// this entry's workloads. Zero inherits.
+	Scale   int    `json:"scale,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Reps    int    `json:"reps,omitempty"`
+}
+
+// describe renders the entry's selection for error messages.
+func (e Entry) describe() string {
+	var parts []string
+	add := func(k, v string) {
+		if v != "" {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	add("suite", e.Suite)
+	add("workload", e.Workload)
+	add("category", e.Category)
+	add("domain", e.Domain)
+	add("stack", e.Stack)
+	if len(parts) == 0 {
+		return "select-all"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Spec is a declarative benchmark scenario: what to run (Entries) and how
+// to run it (scale, seed, engine settings, metric models). The zero value
+// of every "how" field means "use the default"; Normalized fills defaults
+// exactly once and Validate reports the normalized values it will run with.
+type Spec struct {
+	// Name labels the scenario in reports (the Planning step's
+	// "benchmarking object").
+	Name string `json:"name,omitempty"`
+	// Entries compose the workload selection; they may mix rows from any
+	// number of suites and registry-level workloads.
+	Entries []Entry `json:"entries"`
+
+	// Scale is the per-workload input size knob (default 1).
+	Scale int `json:"scale,omitempty"`
+	// Workers is the parallelism of the simulated stack inside each
+	// workload (default 4).
+	Workers int `json:"workers,omitempty"`
+	// Seed makes workload outputs deterministic (default 0).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Parallel bounds how many workloads the engine runs concurrently
+	// (default: one per CPU).
+	Parallel int `json:"parallel,omitempty"`
+	// Reps is the measured repetitions per workload (default 1); the median
+	// repetition is reported.
+	Reps int `json:"reps,omitempty"`
+	// Warmup is the number of unmeasured runs per workload (default 0).
+	Warmup int `json:"warmup,omitempty"`
+	// Timeout bounds each individual run; zero disables it.
+	Timeout Duration `json:"timeout,omitempty"`
+
+	// Energy and Cost annotate results with §3.1's non-performance metrics;
+	// zero models disable them.
+	Energy metrics.EnergyModel `json:"energy,omitzero"`
+	Cost   metrics.CostModel   `json:"cost,omitzero"`
+}
+
+// Parse decodes a JSON scenario spec strictly: unknown fields are errors,
+// so typos in spec files surface instead of silently selecting nothing.
+func Parse(raw []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	return s, nil
+}
+
+// MarshalIndent encodes the spec as indented JSON; Parse(MarshalIndent(s))
+// round-trips.
+func (s Spec) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Normalized returns the spec with every defaultable zero field filled:
+// scale 1, stack workers 4, one engine worker per CPU, one repetition.
+// This is the single place defaults are applied — execution uses exactly
+// these values, and Validate reports them.
+func (s Spec) Normalized() Spec {
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	if s.Workers == 0 {
+		s.Workers = 4
+	}
+	if s.Parallel == 0 {
+		s.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if s.Reps == 0 {
+		s.Reps = 1
+	}
+	return s
+}
+
+// String summarizes the normalized run settings.
+func (s Spec) String() string {
+	n := s.Normalized()
+	return fmt.Sprintf("scenario %q: %d entries, scale=%d workers=%d seed=%d parallel=%d reps=%d warmup=%d timeout=%v",
+		n.Name, len(n.Entries), n.Scale, n.Workers, n.Seed, n.Parallel, n.Reps, n.Warmup, time.Duration(n.Timeout))
+}
+
+// Validate checks the spec against the registry (nil means Default())
+// without running anything: negative sizes and overrides are rejected (a
+// zero means "default", a negative is always a mistake), every named
+// suite, workload, category and stack must exist, and every entry must
+// select at least one workload. Error messages report the normalized
+// values the scenario would run with.
+func (s Spec) Validate(reg *Registry) error {
+	_, err := s.Tasks(reg)
+	return err
+}
+
+// Task is one resolved workload execution with its provenance.
+type Task struct {
+	// Entry indexes the spec entry that selected this workload.
+	Entry int
+	// Suite is the inventory the workload was selected from ("" for
+	// registry-level selections).
+	Suite    string
+	Workload workloads.Workload
+	Category workloads.Category
+	Params   workloads.Params
+	// Reps, when positive, overrides the scenario-wide repetition count.
+	Reps int
+}
+
+// categoryOf validates a category filter string.
+func categoryOf(s string) (workloads.Category, error) {
+	switch c := workloads.Category(s); c {
+	case workloads.Online, workloads.Offline, workloads.Realtime:
+		return c, nil
+	default:
+		return "", fmt.Errorf("unknown category %q (valid: %q, %q, %q)",
+			s, workloads.Online, workloads.Offline, workloads.Realtime)
+	}
+}
+
+// stackOf validates a stack filter string.
+func stackOf(s string) (stacks.Type, error) {
+	switch t := stacks.Type(s); t {
+	case stacks.TypeMapReduce, stacks.TypeDBMS, stacks.TypeNoSQL, stacks.TypeStreaming, stacks.TypeGraph:
+		return t, nil
+	default:
+		return "", fmt.Errorf("unknown stack %q (valid: %q, %q, %q, %q, %q)", s,
+			stacks.TypeMapReduce, stacks.TypeDBMS, stacks.TypeNoSQL, stacks.TypeStreaming, stacks.TypeGraph)
+	}
+}
+
+// Tasks resolves the normalized spec against the registry into concrete
+// engine work: one Task per selected workload, in entry order, with
+// per-entry overrides applied. It returns the errors Validate documents.
+// A nil registry means Default(), matching Run.
+func (s Spec) Tasks(reg *Registry) ([]Task, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	n := s.Normalized()
+	if n.Scale < 0 || n.Workers < 0 || n.Parallel < 0 || n.Reps < 0 || n.Warmup < 0 || n.Timeout < 0 {
+		return nil, fmt.Errorf("scenario: negative run settings in %s", n)
+	}
+	if len(n.Entries) == 0 {
+		return nil, fmt.Errorf("scenario: empty selection: %s has no entries", n)
+	}
+	var tasks []Task
+	for i, e := range n.Entries {
+		if e.Scale < 0 || e.Workers < 0 || e.Reps < 0 {
+			return nil, fmt.Errorf("scenario: entry %d (%s): negative override (scale=%d workers=%d reps=%d)",
+				i, e.describe(), e.Scale, e.Workers, e.Reps)
+		}
+		resolved, err := resolveEntry(e, reg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: entry %d (%s): %w", i, e.describe(), err)
+		}
+		if len(resolved) == 0 {
+			return nil, fmt.Errorf("scenario: entry %d (%s): selects no workloads", i, e.describe())
+		}
+		params := workloads.Params{Seed: n.Seed, Scale: n.Scale, Workers: n.Workers}
+		if e.Scale > 0 {
+			params.Scale = e.Scale
+		}
+		if e.Workers > 0 {
+			params.Workers = e.Workers
+		}
+		if e.Seed != 0 {
+			params.Seed = e.Seed
+		}
+		for _, c := range resolved {
+			tasks = append(tasks, Task{
+				Entry:    i,
+				Suite:    e.Suite,
+				Workload: c.w,
+				Category: c.cat,
+				Params:   params,
+				Reps:     e.Reps,
+			})
+		}
+	}
+	return tasks, nil
+}
+
+// candidate pairs a workload with the category it was selected under (the
+// suite row's category when suite-selected, the workload's own otherwise).
+type candidate struct {
+	w   workloads.Workload
+	cat workloads.Category
+}
+
+func resolveEntry(e Entry, reg *Registry) ([]candidate, error) {
+	var pool []candidate
+	if e.Suite != "" {
+		suite, ok := reg.Suite(e.Suite)
+		if !ok {
+			return nil, fmt.Errorf("unknown suite %q (have: %s)", e.Suite, strings.Join(reg.SuiteNames(), ", "))
+		}
+		for _, row := range suite.Rows {
+			for _, w := range row.Runners {
+				pool = append(pool, candidate{w: w, cat: row.Category})
+			}
+		}
+	} else if e.Workload != "" {
+		w, ok := reg.Workload(e.Workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", e.Workload)
+		}
+		pool = []candidate{{w: w, cat: w.Category()}}
+	} else {
+		for _, w := range reg.Workloads() {
+			pool = append(pool, candidate{w: w, cat: w.Category()})
+		}
+	}
+
+	var wantCat workloads.Category
+	if e.Category != "" {
+		c, err := categoryOf(e.Category)
+		if err != nil {
+			return nil, err
+		}
+		wantCat = c
+	}
+	var wantStack stacks.Type
+	if e.Stack != "" {
+		t, err := stackOf(e.Stack)
+		if err != nil {
+			return nil, err
+		}
+		wantStack = t
+	}
+
+	var out []candidate
+	for _, c := range pool {
+		if e.Workload != "" && c.w.Name() != e.Workload {
+			continue
+		}
+		if wantCat != "" && c.cat != wantCat {
+			continue
+		}
+		if e.Domain != "" && c.w.Domain() != e.Domain {
+			continue
+		}
+		if wantStack != "" && !hasStack(c.w, wantStack) {
+			continue
+		}
+		out = append(out, c)
+	}
+	if e.Suite != "" && e.Workload != "" && len(out) == 0 {
+		return nil, fmt.Errorf("workload %q is not in suite %q", e.Workload, e.Suite)
+	}
+	return out, nil
+}
+
+func hasStack(w workloads.Workload, t stacks.Type) bool {
+	for _, st := range w.StackTypes() {
+		if st == t {
+			return true
+		}
+	}
+	return false
+}

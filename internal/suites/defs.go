@@ -21,9 +21,10 @@ func fixed(size int64) func(int) int64 {
 	return func(int) int64 { return size }
 }
 
-// All returns the ten surveyed suites in the paper's Table 1 row order,
-// followed by bdbench itself (the §5 extension row).
-func All() []Suite {
+// builtin constructs the ten surveyed suites in the paper's Table 1 row
+// order, followed by bdbench itself (the §5 extension row). They are
+// registered into the package registry at init; use All or ByName.
+func builtin() []Suite {
 	return []Suite{
 		{
 			Name: "HiBench", Ref: "[12]",
@@ -288,14 +289,4 @@ func All() []Suite {
 			SoftwareStacks: []string{"mapreduce", "dbms", "nosql", "streaming", "graph"},
 		},
 	}
-}
-
-// ByName returns the named suite.
-func ByName(name string) (Suite, bool) {
-	for _, s := range All() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Suite{}, false
 }

@@ -1,0 +1,75 @@
+package suites
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// The package-level suite registry. The ten surveyed suite emulations (plus
+// bdbench's own extension row) self-register in init, preserving the
+// paper's Table 1 row order; additional suites can be registered by name.
+var (
+	regMu    sync.RWMutex
+	regOrder []string
+	regSuite map[string]Suite
+)
+
+// Register adds a suite to the registry under its Name. It returns an error
+// when the name is empty or already taken. Registration order is preserved:
+// All returns suites in the order they were registered.
+func Register(s Suite) error {
+	if s.Name == "" {
+		return fmt.Errorf("suites: cannot register a suite with an empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if regSuite == nil {
+		regSuite = make(map[string]Suite)
+	}
+	if _, dup := regSuite[s.Name]; dup {
+		return fmt.Errorf("suites: suite %q already registered", s.Name)
+	}
+	regSuite[s.Name] = s
+	regOrder = append(regOrder, s.Name)
+	return nil
+}
+
+// MustRegister is Register for init functions: it panics on error.
+func MustRegister(ss ...Suite) {
+	for _, s := range ss {
+		if err := Register(s); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// All returns the registered suites in registration order — the ten
+// surveyed suites in the paper's Table 1 row order, then bdbench itself,
+// then any later registrations.
+func All() []Suite {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Suite, len(regOrder))
+	for i, name := range regOrder {
+		out[i] = regSuite[name]
+	}
+	return out
+}
+
+// ByName returns the named suite.
+func ByName(name string) (Suite, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := regSuite[name]
+	return s, ok
+}
+
+func init() {
+	MustRegister(builtin()...)
+	// LinkBenchOps lives in this package (its substrate is the DBMS-backed
+	// social graph), so it self-registers here alongside the suites — the
+	// workload packages each register their own inventories.
+	workloads.MustRegister(LinkBenchOps{})
+}

@@ -1,0 +1,9 @@
+package commerce
+
+import "github.com/bdbench/bdbench/internal/workloads"
+
+// The e-commerce workloads self-register so they are addressable by name
+// through the workload registry (and thus through scenario specs).
+func init() {
+	workloads.MustRegister(CollaborativeFiltering{}, NaiveBayes{})
+}

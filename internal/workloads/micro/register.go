@@ -1,0 +1,9 @@
+package micro
+
+import "github.com/bdbench/bdbench/internal/workloads"
+
+// The micro benchmarks self-register so they are addressable by name
+// through the workload registry (and thus through scenario specs).
+func init() {
+	workloads.MustRegister(Sort{}, WordCount{}, TeraSort{}, Grep{})
+}

@@ -1,0 +1,11 @@
+package oltp
+
+import "github.com/bdbench/bdbench/internal/workloads"
+
+// The six YCSB core workloads self-register so they are addressable by
+// name through the workload registry (and thus through scenario specs).
+func init() {
+	for _, w := range All() {
+		workloads.MustRegister(w)
+	}
+}

@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The package-level workload registry. Every workload subpackage
+// self-registers its inventory in an init function, so importing a workload
+// package is enough to make its workloads addressable by name — the same
+// mechanism external callers use (via the public bdbench package) to add
+// custom workloads.
+var (
+	regMu  sync.RWMutex
+	regAll map[string]Workload
+)
+
+// Register adds a workload to the package registry under its Name. It
+// returns an error when the name is empty or already taken — registration
+// is by-name, so two workloads can never shadow each other silently.
+func Register(w Workload) error {
+	name := w.Name()
+	if name == "" {
+		return fmt.Errorf("workloads: cannot register a workload with an empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if regAll == nil {
+		regAll = make(map[string]Workload)
+	}
+	if _, dup := regAll[name]; dup {
+		return fmt.Errorf("workloads: workload %q already registered", name)
+	}
+	regAll[name] = w
+	return nil
+}
+
+// MustRegister is Register for init functions: it panics on a duplicate or
+// empty name, which turns a registration bug into a build-time failure of
+// any test importing the package.
+func MustRegister(ws ...Workload) {
+	for _, w := range ws {
+		if err := Register(w); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// ByName looks a registered workload up by name.
+func ByName(name string) (Workload, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	w, ok := regAll[name]
+	return w, ok
+}
+
+// Registered returns every registered workload sorted by name, so iteration
+// order is deterministic regardless of package-initialization order.
+func Registered() []Workload {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(regAll))
+	for n := range regAll {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Workload, len(names))
+	for i, n := range names {
+		out[i] = regAll[n]
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package workloads
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+)
+
+type stubWorkload struct{ name string }
+
+func (s stubWorkload) Name() string              { return s.name }
+func (s stubWorkload) Category() Category        { return Online }
+func (s stubWorkload) Domain() string            { return "test" }
+func (s stubWorkload) StackTypes() []stacks.Type { return nil }
+func (s stubWorkload) Run(context.Context, Params, *metrics.Collector) error {
+	return nil
+}
+
+func TestRegisterDuplicateAndEmpty(t *testing.T) {
+	if err := Register(stubWorkload{name: "registry-test-w"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(stubWorkload{name: "registry-test-w"}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := Register(stubWorkload{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, ok := ByName("registry-test-w"); !ok {
+		t.Fatal("registered workload not found")
+	}
+	if _, ok := ByName("registry-test-missing"); ok {
+		t.Fatal("unknown workload found")
+	}
+}
+
+func TestRegisteredSortedAndStable(t *testing.T) {
+	ws := Registered()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name()
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Registered not sorted: %v", names)
+	}
+	again := Registered()
+	if len(again) != len(ws) {
+		t.Fatalf("unstable length %d vs %d", len(again), len(ws))
+	}
+	for i := range ws {
+		if again[i].Name() != ws[i].Name() {
+			t.Fatalf("unstable order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package relational
+
+import "github.com/bdbench/bdbench/internal/workloads"
+
+// The relational-query workloads self-register so they are addressable by
+// name through the workload registry (and thus through scenario specs).
+func init() {
+	workloads.MustRegister(LoadSelectAggregateJoin{}, MapReduceEquivalents{}, URLCount{})
+}

@@ -1,0 +1,43 @@
+package bdbench
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/bdbench/bdbench/internal/scenario"
+)
+
+// Scenario is a declarative, JSON-round-trippable benchmark spec: what to
+// run (Entries composing workloads across any suites) and how to run it
+// (scale, seed, engine settings, metric models). Zero "how" fields mean
+// "default"; Normalize fills defaults exactly once and Validate rejects
+// everything else, reporting the normalized values a run would use.
+type Scenario = scenario.Spec
+
+// Entry is one selection of a scenario: pick workloads from a suite's
+// inventory or the registry at large, narrowed by name, category, domain
+// or stack, with optional per-entry scale/workers/seed/reps overrides.
+type Entry = scenario.Entry
+
+// Duration is a time.Duration that round-trips through JSON as a string
+// like "30s".
+type Duration = scenario.Duration
+
+// ParseScenario decodes a JSON scenario spec. Unknown fields are errors,
+// so typos in spec files surface instead of silently selecting nothing.
+func ParseScenario(raw []byte) (Scenario, error) { return scenario.Parse(raw) }
+
+// LoadScenario reads and parses a scenario spec file.
+func LoadScenario(path string) (Scenario, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("bdbench: scenario file: %w", err)
+	}
+	return scenario.Parse(raw)
+}
+
+// SuiteScenario is the common case as a one-liner: a scenario selecting
+// one whole suite inventory.
+func SuiteScenario(suite string) Scenario {
+	return Scenario{Name: suite, Entries: []Entry{{Suite: suite}}}
+}

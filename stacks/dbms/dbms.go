@@ -1,0 +1,40 @@
+// Package dbms is the public facade over bdbench's simulated relational
+// stack: an in-memory DBMS with loading, secondary indexes, a structured
+// Query plan form and a small SQL-like string front end.
+package dbms
+
+import "github.com/bdbench/bdbench/internal/stacks/dbms"
+
+// DB is the in-memory relational engine.
+type DB = dbms.DB
+
+// Open returns an empty database.
+func Open() *DB { return dbms.Open() }
+
+// Query is the structured query form (From/Where/Select/Aggs/OrderBy/...).
+type Query = dbms.Query
+
+// Pred is one predicate of a Where clause.
+type Pred = dbms.Pred
+
+// Agg is one aggregate of a query.
+type Agg = dbms.Agg
+
+// Order is one ORDER BY term.
+type Order = dbms.Order
+
+// JoinSpec describes a join.
+type JoinSpec = dbms.JoinSpec
+
+// CmpOp is a predicate comparison operator.
+type CmpOp = dbms.CmpOp
+
+// The comparison operators.
+const (
+	OpEq = dbms.OpEq
+	OpNe = dbms.OpNe
+	OpLt = dbms.OpLt
+	OpLe = dbms.OpLe
+	OpGt = dbms.OpGt
+	OpGe = dbms.OpGe
+)

@@ -1,0 +1,30 @@
+// Package mapreduce is the public facade over bdbench's simulated
+// MapReduce stack: a Hadoop-style batch dataflow with configurable map
+// parallelism, combiners, partitioners and shuffle accounting.
+package mapreduce
+
+import "github.com/bdbench/bdbench/internal/stacks/mapreduce"
+
+// KV is one key-value record.
+type KV = mapreduce.KV
+
+// Mapper emits intermediate pairs for one input record.
+type Mapper = mapreduce.Mapper
+
+// Reducer folds one key's values into output pairs.
+type Reducer = mapreduce.Reducer
+
+// Partitioner routes keys to reduce partitions.
+type Partitioner = mapreduce.Partitioner
+
+// Job describes one MapReduce job.
+type Job = mapreduce.Job
+
+// Stats reports a job's execution counters.
+type Stats = mapreduce.Stats
+
+// Engine executes jobs.
+type Engine = mapreduce.Engine
+
+// New returns an engine with the given map/reduce parallelism.
+func New(workers int) *Engine { return mapreduce.New(workers) }
