@@ -7,6 +7,7 @@ package bdbench
 
 import (
 	"github.com/bdbench/bdbench/internal/engine"
+	"github.com/bdbench/bdbench/internal/loadgen"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
 	"github.com/bdbench/bdbench/internal/suites"
@@ -90,6 +91,22 @@ const (
 
 // RepSummary summarizes a statistic across a workload's repetitions.
 type RepSummary = engine.RepSummary
+
+// LoadStats is one open-loop run's latency-under-load digest: offered vs
+// achieved rate, and latency measured from each operation's intended start
+// (queueing included — immune to coordinated omission) alongside the
+// service-time view from its actual start. Produced when a scenario sets a
+// rate or a Run uses WithLoad; found on WorkloadResult.Load.
+type LoadStats = loadgen.Stats
+
+// LatencySummary is one latency distribution digest (mean, p50/p95/p99,
+// max).
+type LatencySummary = loadgen.LatencySummary
+
+// Arrivals lists the built-in open-loop arrival process names, usable in
+// Scenario.Arrival and WithArrival: "constant", "poisson", "bursty",
+// "ramp".
+func Arrivals() []string { return loadgen.Processes() }
 
 // Suite is one emulated benchmark effort: data generator capabilities plus
 // a workload inventory. Register custom suites with RegisterSuite.

@@ -5,6 +5,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	bdbench "github.com/bdbench/bdbench"
 )
@@ -41,9 +42,59 @@ func TestCustomWorkloadThroughPublicAPI(t *testing.T) {
 	}
 }
 
+// TestLoadThroughPublicAPI drives a custom workload open-loop with
+// WithLoad/WithArrival and checks the latency-under-load surfaces: the
+// LoadStats digest on the result, the curve-point conversion and the text
+// reporter's load table.
+func TestLoadThroughPublicAPI(t *testing.T) {
+	reg := bdbench.NewRegistry()
+	if err := reg.RegisterWorkload(evenCount{}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := bdbench.Run(context.Background(),
+		bdbench.Scenario{Entries: []bdbench.Entry{{Workload: "even-count"}}, Seed: 3},
+		bdbench.WithRegistry(reg),
+		bdbench.WithLoad(100, 200*time.Millisecond),
+		bdbench.WithArrival("poisson"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := out.Results[0].Load
+	if st == nil {
+		t.Fatal("open-loop run returned no LoadStats")
+	}
+	if st.Offered != 100 || st.Arrival != "poisson" || st.Window != 200*time.Millisecond {
+		t.Fatalf("load settings lost: %+v", st)
+	}
+	if st.Dispatched == 0 || st.Latency.Count == 0 {
+		t.Fatalf("no operations measured: %+v", st)
+	}
+	p := bdbench.LoadPointFrom(st)
+	if p.Offered != 100 || p.Dispatched != st.Dispatched {
+		t.Fatalf("curve point conversion lost data: %+v", p)
+	}
+	var buf bytes.Buffer
+	if err := bdbench.NewTextReporter().Report(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "latency under load") {
+		t.Fatalf("text report missing load table:\n%s", buf.String())
+	}
+}
+
+// TestArrivalsListed pins the public arrival-process names.
+func TestArrivalsListed(t *testing.T) {
+	got := strings.Join(bdbench.Arrivals(), ",")
+	if got != "constant,poisson,bursty,ramp" {
+		t.Fatalf("Arrivals() = %s", got)
+	}
+}
+
 // TestSampleScenarioSpec guards the checked-in spec file: it parses
 // strictly, validates against the default registry, mixes rows from at
-// least two suites and carries a per-entry scale override.
+// least two suites, and carries a per-entry scale override plus an
+// open-loop load entry (rate/arrival/duration).
 func TestSampleScenarioSpec(t *testing.T) {
 	sc, err := bdbench.LoadScenario("testdata/scenario.sample.json")
 	if err != nil {
@@ -67,6 +118,15 @@ func TestSampleScenarioSpec(t *testing.T) {
 	}
 	if !override {
 		t.Fatal("sample spec has no per-entry overrides")
+	}
+	loadEntry := false
+	for _, e := range sc.Entries {
+		if e.Rate > 0 && e.Arrival != "" && e.Duration > 0 {
+			loadEntry = true
+		}
+	}
+	if !loadEntry {
+		t.Fatal("sample spec has no open-loop load entry")
 	}
 	// Round trip.
 	raw, err := sc.MarshalIndent()

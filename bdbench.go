@@ -23,7 +23,12 @@
 //   - internal/engine        the concurrent execution layer: a bounded
 //     worker pool with warmup/repetition control, per-run deadlines, panic
 //     isolation and streaming progress events — seed-deterministic at any
-//     parallelism;
+//     parallelism — plus an open-loop task mode for latency-under-load
+//     measurement;
+//   - internal/loadgen       open-loop load generation: pluggable arrival
+//     processes (constant, Poisson, bursty, ramp) scheduling operation
+//     start times independently of completions, with latency recorded
+//     from intended starts so coordinated omission cannot hide queueing;
 //   - internal/scenario      the composition layer: registry, declarative
 //     scenario specs, the five-step runner and the reporter contract;
 //   - internal/core          the five-step benchmarking process of Figure 1
@@ -37,7 +42,10 @@
 // validated, JSON-round-trippable spec that composes workloads across any
 // suites with per-entry overrides; Run executes it on the concurrent
 // engine with functional options (WithEvents, WithRegistry,
-// WithDataProbes); Reporters export the outcome as text, markdown or JSON.
+// WithDataProbes, and WithLoad/WithArrival for open-loop
+// latency-under-load runs); Reporters export the outcome as text,
+// markdown or JSON, and LoadCurve/FormatLoadCurve render
+// throughput-vs-latency sweeps.
 // The datagen/... and stacks/... directories re-export the data
 // generators and simulated stacks for direct use.
 //
@@ -48,4 +56,4 @@
 package bdbench
 
 // Version is the release version of the bdbench module.
-const Version = "1.1.0"
+const Version = "1.2.0"

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,6 +28,9 @@ type scenarioFlags struct {
 	reps         *int
 	warmup       *int
 	timeout      *time.Duration
+	rate         *float64
+	arrival      *string
+	duration     *time.Duration
 	progress     *bool
 }
 
@@ -40,6 +44,9 @@ func addScenarioFlags(fs *flag.FlagSet) *scenarioFlags {
 		reps:         fs.Int("reps", 1, "measured repetitions per workload (median reported)"),
 		warmup:       fs.Int("warmup", 0, "unmeasured warmup runs per workload"),
 		timeout:      fs.Duration("timeout", 0, "per-run deadline, e.g. 30s (0 = none)"),
+		rate:         fs.Float64("rate", 0, "open-loop offered load in ops/s (0 = closed-loop reps mode)"),
+		arrival:      fs.String("arrival", "", "open-loop arrival process: "+strings.Join(bdbench.Arrivals(), "|")),
+		duration:     fs.Duration("duration", 0, "open-loop scheduling window, e.g. 10s (requires -rate)"),
 		progress:     fs.Bool("progress", false, "stream per-repetition progress to stderr"),
 	}
 }
@@ -56,6 +63,9 @@ func (sf *scenarioFlags) appliers() map[string]func(*bdbench.Scenario) {
 		"reps":          func(s *bdbench.Scenario) { s.Reps = *sf.reps },
 		"warmup":        func(s *bdbench.Scenario) { s.Warmup = *sf.warmup },
 		"timeout":       func(s *bdbench.Scenario) { s.Timeout = bdbench.Duration(*sf.timeout) },
+		"rate":          func(s *bdbench.Scenario) { s.Rate = *sf.rate },
+		"arrival":       func(s *bdbench.Scenario) { s.Arrival = *sf.arrival },
+		"duration":      func(s *bdbench.Scenario) { s.Duration = bdbench.Duration(*sf.duration) },
 	}
 }
 
@@ -307,6 +317,95 @@ func cmdRun(args []string) error {
 		return err
 	}
 	return runErr
+}
+
+// cmdLoadcurve sweeps a workload across increasing offered rates in
+// open-loop mode and renders the throughput-vs-latency curve — the
+// latency-under-load headline figure. Each point is an independent run at
+// one offered rate; latency percentiles are measured from intended starts,
+// so saturation shows up as exploding tails, not as a quietly slowed
+// request stream.
+func cmdLoadcurve(args []string) error {
+	fs := newFlagSet("loadcurve")
+	workload := fs.String("workload", "wordcount", "registered workload to drive (see: bdbench workloads)")
+	rates := fs.String("rates", "10,25,50", "comma-separated offered rates in ops/s, swept in order")
+	arrival := fs.String("arrival", "constant", "arrival process: "+strings.Join(bdbench.Arrivals(), "|"))
+	duration := fs.Duration("duration", 3*time.Second, "open-loop scheduling window per rate")
+	scale := fs.Int("scale", 1, "workload scale")
+	stackWorkers := fs.Int("stack-workers", 0, "per-workload stack parallelism (0 = default)")
+	seed := fs.Uint64("seed", 42, "workload and arrival-schedule seed")
+	warmup := fs.Int("warmup", 1, "unmeasured closed-loop warmup runs before each window")
+	format := fs.String("format", "text", "output format: "+strings.Join(bdbench.Formats(), "|"))
+	progress := fs.Bool("progress", false, "stream engine progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	swept, err := parseRates(*rates)
+	if err != nil {
+		return err
+	}
+	// Reject a bad -format before the sweep runs, not after minutes of
+	// benchmarking.
+	curve := bdbench.LoadCurve{Workload: *workload, Arrival: *arrival, Window: *duration}
+	if _, err := bdbench.FormatLoadCurve(curve, *format); err != nil {
+		return err
+	}
+	for _, rate := range swept {
+		sc := bdbench.Scenario{
+			Name:    fmt.Sprintf("loadcurve %s @ %g/s", *workload, rate),
+			Entries: []bdbench.Entry{{Workload: *workload}},
+			Scale:   *scale,
+			Workers: *stackWorkers,
+			Seed:    *seed,
+			Warmup:  *warmup,
+		}
+		opts := []bdbench.Option{
+			bdbench.WithLoad(rate, *duration),
+			bdbench.WithArrival(*arrival),
+		}
+		if *progress {
+			opts = append(opts, bdbench.WithEvents(printEvent))
+		}
+		out, runErr := bdbench.Run(context.Background(), sc, opts...)
+		if out == nil {
+			return runErr
+		}
+		if len(out.Results) == 0 || out.Results[0].Load == nil {
+			return fmt.Errorf("loadcurve: run at %g/s produced no load statistics", rate)
+		}
+		// A saturated point may report per-operation errors; that is part of
+		// the curve (the errs column), not a reason to stop the sweep.
+		curve.Points = append(curve.Points, bdbench.LoadPointFrom(out.Results[0].Load))
+		fmt.Fprintf(os.Stderr, "loadcurve: %s @ %g/s done (achieved %.0f/s, p99 %v)\n",
+			*workload, rate, out.Results[0].Load.Achieved, out.Results[0].Load.Latency.P99)
+	}
+	rendered, err := bdbench.FormatLoadCurve(curve, *format)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rendered)
+	return nil
+}
+
+// parseRates parses the -rates flag: positive ops/s values, comma
+// separated.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("loadcurve: bad rate %q (want positive ops/s, comma separated)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadcurve: no rates given")
+	}
+	return out, nil
 }
 
 func cmdSuites(args []string) error {

@@ -10,6 +10,8 @@
 //	bdbench figure4             run the 5-step test generation process
 //	bdbench run -suite S        execute a suite's workload inventory
 //	bdbench run -spec F.json    execute a scenario spec composing suites
+//	bdbench run -rate R         execute open-loop at an offered rate
+//	bdbench loadcurve           sweep offered rates, print the latency curve
 //	bdbench suites              list available suite emulations
 //	bdbench workloads           list the registered workload inventory
 //	bdbench prescriptions       list the prescription repository
@@ -47,6 +49,8 @@ func main() {
 		err = cmdFigure4(args)
 	case "run":
 		err = cmdRun(args)
+	case "loadcurve":
+		err = cmdLoadcurve(args)
 	case "suites":
 		err = cmdSuites(args)
 	case "workloads":
@@ -79,6 +83,8 @@ commands:
   figure3         run the 4-step data generation process (text and table)
   figure4         run the 5-step test generation process + portability check
   run             execute a suite (-suite) or a scenario spec file (-spec)
+  loadcurve       sweep open-loop offered rates over one workload and print
+                  the throughput-vs-latency curve (p50/p95/p99 per rate)
   suites          list the emulated benchmark suites
   workloads       list the registered workload inventory
   prescriptions   list the reusable prescription repository
@@ -101,8 +107,16 @@ engine knobs (run, figure1, experiments — shared):
   -stack-workers N  parallelism of the simulated stack inside each workload
   -progress         stream per-repetition progress to stderr
 
+open-loop load (run, figure1, experiments; loadcurve has its own flags):
+  -rate R           offered load in ops/s; switches execution to open-loop
+                    (arrivals scheduled independently of completions,
+                    latency measured from intended start)
+  -arrival P        arrival process: constant, poisson, bursty or ramp
+  -duration D       scheduling window per workload, e.g. 10s
+
 Workload outputs (counters, verification) are seed-deterministic at any
--workers setting; only timings vary with parallelism.
+-workers setting; only timings vary with parallelism. Arrival schedules are
+seed-deterministic too: same seed and rate, same intended start times.
 `)
 }
 

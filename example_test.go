@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	bdbench "github.com/bdbench/bdbench"
 )
@@ -82,4 +83,38 @@ func ExampleRun() {
 	// even-count (online services) ok=true
 	// evens counted: 150
 	// custom workload exported: true
+}
+
+// ExampleRun_underLoad demonstrates open-loop load generation: the same
+// scenario machinery, but executions are dispatched at a controlled
+// offered rate with Poisson arrivals and latency is measured from each
+// operation's intended start — so queueing under overload is visible in
+// the percentiles instead of being hidden by coordinated omission.
+// Sweeping WithLoad across rates and collecting LoadPointFrom per run
+// yields a LoadCurve (the CLI's `bdbench loadcurve` does exactly this).
+func ExampleRun_underLoad() {
+	scenario := bdbench.Scenario{
+		Name:    "latency under load",
+		Entries: []bdbench.Entry{{Workload: "grep"}},
+		Seed:    7,
+	}
+	out, err := bdbench.Run(context.Background(), scenario,
+		bdbench.WithLoad(200, 100*time.Millisecond),
+		bdbench.WithArrival("poisson"),
+	)
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	st := out.Results[0].Load
+	// Wall-clock latencies vary run to run; the schedule does not: the
+	// same seed, rate and window always offer the identical load.
+	fmt.Printf("arrival=%s offered=%g/s window=%v\n", st.Arrival, st.Offered, st.Window)
+	fmt.Println("all dispatched:", st.Dispatched == st.Scheduled && st.Scheduled > 0)
+	fmt.Println("latencies measured:", st.Latency.Count == uint64(st.Dispatched))
+
+	// Output:
+	// arrival=poisson offered=200/s window=100ms
+	// all dispatched: true
+	// latencies measured: true
 }

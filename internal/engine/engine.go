@@ -4,6 +4,15 @@
 // with per-workload warmup and repetition control, per-run context
 // deadlines, panic isolation and streaming progress events.
 //
+// Tasks run in one of two modes. Closed-loop (the default) measures how
+// fast a workload can go: Warmup unmeasured runs, then Reps measured
+// repetitions back to back, median reported. Open-loop (Task.Load set)
+// measures how the workload behaves under a controlled offered rate: the
+// loadgen package schedules operation start times up front from an arrival
+// process, each operation is one workload execution, and latency is
+// recorded from the intended start so queueing delay is never hidden by
+// coordinated omission.
+//
 // Scheduling never changes what workloads compute: every workload derives
 // its input and behaviour from Params alone, so the same seed yields
 // identical per-workload outputs — counters, operation counts, verification
@@ -20,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/bdbench/bdbench/internal/loadgen"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stats"
 	"github.com/bdbench/bdbench/internal/workloads"
@@ -67,6 +77,13 @@ type Task struct {
 	// scenario entries use it to repeat selected workloads more (or fewer)
 	// times than the rest of the run.
 	Reps int
+	// Load, when non-nil, switches this task to open-loop mode: instead of
+	// back-to-back repetitions, workload executions are dispatched at the
+	// arrival process's intended start times over Load.Duration, and the
+	// task reports latency-under-load statistics. Warmup runs still happen
+	// first; Reps is ignored (the window is the one measured "repetition").
+	// The engine fills Load.Rec with the task's collector.
+	Load *loadgen.Options
 }
 
 // Rep is the outcome of one measured repetition.
@@ -117,6 +134,9 @@ type TaskResult struct {
 	// Err is the first error observed across the measured repetitions; nil
 	// when every repetition succeeded.
 	Err error
+	// Load carries the open-loop statistics for tasks run in open-loop mode
+	// (Task.Load set); nil for closed-loop tasks.
+	Load *loadgen.Stats
 }
 
 // EventKind labels a progress event.
@@ -192,7 +212,8 @@ func Run(ctx context.Context, tasks []Task, cfg Config) []TaskResult {
 	return results
 }
 
-// runTask executes one task's warmup runs and measured repetitions.
+// runTask executes one task's warmup runs and measured repetitions (or its
+// open-loop window when the task carries a load spec).
 func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event)) TaskResult {
 	res := TaskResult{Workload: t.Workload.Name(), Category: t.Category}
 	t0 := time.Now()
@@ -205,6 +226,10 @@ func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event))
 		if ctx.Err() != nil {
 			break
 		}
+	}
+
+	if t.Load != nil {
+		return runOpenLoop(ctx, idx, t, cfg, emit, res, t0)
 	}
 
 	reps := cfg.Reps
@@ -254,6 +279,55 @@ func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event))
 	return res
 }
 
+// runOpenLoop drives one task's open-loop window: the loadgen dispatcher
+// starts one workload execution at each intended arrival time, every
+// execution records into the task's single collector (the collector is
+// sharded, so concurrent operations never contend), and the window's merged
+// snapshot becomes the task's one measured repetition. Config.Timeout
+// bounds each individual operation, exactly as it bounds a closed-loop
+// repetition.
+func runOpenLoop(ctx context.Context, idx int, t Task, cfg Config, emit func(Event), res TaskResult, t0 time.Time) TaskResult {
+	c := metrics.NewCollector(t.Workload.Name())
+	opts := *t.Load
+	opts.Rec = c
+	c.Start()
+	st, runErr := loadgen.Run(ctx, opts, func(opCtx context.Context) error {
+		if cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			opCtx, cancel = context.WithTimeout(opCtx, cfg.Timeout)
+			defer cancel()
+		}
+		// Abandon an overrunning operation at its deadline exactly as the
+		// closed-loop runOnce does — same helper, provably same behavior. A
+		// non-cooperative workload must not wedge the whole window.
+		return awaitRun(opCtx, t, c)
+	})
+	c.Stop()
+
+	rep := Rep{Result: c.Snapshot(), Err: runErr}
+	if runErr == nil && st.Dispatched > 0 && st.Errors == st.Dispatched {
+		rep.Err = fmt.Errorf("engine: workload %s: all %d operations failed under load",
+			res.Workload, st.Errors)
+	}
+	res.Load = &st
+	res.Reps = []Rep{rep}
+	res.Median = rep.Result
+	res.Best = rep.Result
+	res.Err = rep.Err
+	var throughput, elapsed stats.Summary
+	if rep.Err == nil {
+		throughput.Observe(rep.Result.Throughput)
+		elapsed.Observe(rep.Result.Elapsed.Seconds())
+	}
+	res.Throughput = snapshotSummary(&throughput)
+	res.ElapsedSec = snapshotSummary(&elapsed)
+	emit(Event{Kind: EventRepDone, Workload: res.Workload, Task: idx, Rep: 0,
+		Err: rep.Err, Elapsed: rep.Result.Elapsed})
+	emit(Event{Kind: EventTaskDone, Workload: res.Workload, Task: idx, Rep: -1,
+		Err: res.Err, Elapsed: time.Since(t0)})
+	return res
+}
+
 // runOnce executes a single run under the configured deadline, isolating
 // panics into errors. When the deadline passes before the workload unwinds,
 // the repetition is reported with the context error immediately; the
@@ -271,23 +345,33 @@ func runOnce(ctx context.Context, t Task, timeout time.Duration) Rep {
 		// Already expired or cancelled: fail fast without starting the run.
 		return Rep{Result: c.Snapshot(), Err: err}
 	}
-	done := make(chan error, 1)
 	t0 := time.Now()
+	err := awaitRun(runCtx, t, c)
+	c.SetElapsed(time.Since(t0))
+	return Rep{Result: c.Snapshot(), Err: err}
+}
+
+// awaitRun executes the workload in its own goroutine — converting a panic
+// into an error — and returns the moment it finishes or ctx expires,
+// whichever comes first. On expiry the workload goroutine is abandoned to
+// unwind cooperatively on its own; the collector is concurrency-safe, so
+// late writes are harmless. Both execution modes share this helper, so
+// closed-loop repetitions and open-loop operations are abandoned
+// identically.
+func awaitRun(ctx context.Context, t Task, c *metrics.Collector) error {
+	done := make(chan error, 1)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
 				done <- fmt.Errorf("engine: workload %s panicked: %v", t.Workload.Name(), r)
 			}
 		}()
-		done <- t.Workload.Run(runCtx, t.Params, c)
+		done <- t.Workload.Run(ctx, t.Params, c)
 	}()
-
-	var err error
 	select {
-	case err = <-done:
-	case <-runCtx.Done():
-		err = runCtx.Err()
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	c.SetElapsed(time.Since(t0))
-	return Rep{Result: c.Snapshot(), Err: err}
 }

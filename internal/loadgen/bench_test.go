@@ -1,0 +1,44 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedule measures arrival-schedule materialization per process
+// — the fixed cost a run pays before the first dispatch (100k arrivals
+// per iteration at 10k ops/s over 10s).
+func BenchmarkSchedule(b *testing.B) {
+	for _, name := range Processes() {
+		p, _ := ParseProcess(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched := Schedule(p, 10000, 10*time.Second, uint64(i))
+				if len(sched) == 0 {
+					b.Fatal("empty schedule")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDispatchOverhead measures the driver's per-operation cost with
+// a no-op operation at increasing offered rates over a fixed 50ms window:
+// the gap between offered and achieved is pure load-generator overhead.
+func BenchmarkDispatchOverhead(b *testing.B) {
+	for _, rate := range []float64{1000, 10000} {
+		b.Run(fmt.Sprintf("rate=%.0f", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := Run(context.Background(), Options{
+					Rate: rate, Duration: 50 * time.Millisecond, Seed: uint64(i),
+				}, func(context.Context) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(st.Achieved/st.Offered, "achieved/offered")
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// The operation labels loadgen records into the metrics pipeline. OpRequest
+// is the headline number: latency measured from the *intended* start, so
+// queueing behind a stalled operation is charged to the requests that
+// waited (the coordinated-omission guard). OpService and OpWait decompose
+// it into execution time and queueing delay. All three are recorded as
+// substrate-level observations: each operation is a whole workload
+// execution that measures its own user-level operations into the same
+// collector, so counting requests at the user level too would double-count
+// Result.Throughput. The per-request digests live in Stats.
+const (
+	OpRequest = "request"
+	OpService = "request_service"
+	OpWait    = "request_wait"
+)
+
+// Options configures one open-loop run.
+type Options struct {
+	// Rate is the mean offered load in operations per second (> 0).
+	Rate float64
+	// Arrival is the arrival process; nil means Constant.
+	Arrival Process
+	// Duration is the scheduling window (> 0). Operations scheduled inside
+	// the window may complete after it; the run waits for them.
+	Duration time.Duration
+	// Seed derives the arrival schedule (see Schedule).
+	Seed uint64
+	// MaxInflight caps concurrently executing operations. Zero means
+	// unbounded — the pure open-loop model, where dispatch never waits for
+	// capacity. A positive cap queues excess arrivals; their waiting time
+	// still counts against OpRequest, because the clock starts at the
+	// intended arrival either way.
+	MaxInflight int
+	// Rec, when non-nil, receives every observation in the sharded metrics
+	// pipeline: OpRequest, OpService and OpWait, all substrate-level (the
+	// executed operations record their own user-level measurements).
+	Rec metrics.Recorder
+
+	// Now and Sleep are injectable for tests; nil means the real clock.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+// LatencySummary is one latency distribution digest.
+type LatencySummary struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	P50   time.Duration `json:"p50"`
+	P95   time.Duration `json:"p95"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+func summarize(h *stats.AtomicLatencyHistogram) LatencySummary {
+	s := h.Snapshot()
+	if s.Count() == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count: s.Count(),
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+		Max:   s.Max(),
+	}
+}
+
+// Stats is the outcome of one open-loop run: how much load was offered, how
+// much the system absorbed, and what the latency looked like from the
+// user's side (intended start) versus the server's side (actual start).
+type Stats struct {
+	// Arrival is the process name and Offered the configured mean rate.
+	Arrival string  `json:"arrival"`
+	Offered float64 `json:"offered"`
+	// Window is the configured scheduling window; Elapsed the wall time from
+	// the first intended arrival to the last completion.
+	Window  time.Duration `json:"window"`
+	Elapsed time.Duration `json:"elapsed"`
+	// Scheduled counts the arrivals in the schedule; Dispatched the ones
+	// that began executing; Skipped the ones abandoned to a cancelled
+	// context; Errors the dispatched ones whose operation returned an error.
+	Scheduled  int `json:"scheduled"`
+	Dispatched int `json:"dispatched"`
+	Skipped    int `json:"skipped,omitempty"`
+	Errors     int `json:"errors,omitempty"`
+	// Achieved is the completion rate actually sustained: successful
+	// completions per second over the scheduling window (or over Elapsed
+	// when completions overran the window). It tracks Offered while the
+	// system keeps up and falls below it past the saturation knee.
+	Achieved float64 `json:"achieved"`
+	// Latency is measured from each operation's intended start (queueing
+	// included — immune to coordinated omission); Service from its actual
+	// start; Wait is the gap between the two.
+	Latency LatencySummary `json:"latency"`
+	Service LatencySummary `json:"service"`
+	Wait    LatencySummary `json:"wait"`
+}
+
+// Run offers the configured load to op: it materializes the arrival
+// schedule, dispatches each operation at its intended start time — never
+// waiting for earlier completions — and waits for every dispatched
+// operation to finish. Operation errors and panics are counted, not fatal;
+// the error return is reserved for an invalid Options or a context
+// cancelled before the window completes.
+func Run(ctx context.Context, opts Options, op func(context.Context) error) (Stats, error) {
+	if opts.Rate <= 0 {
+		return Stats{}, fmt.Errorf("loadgen: rate must be positive, got %g", opts.Rate)
+	}
+	if opts.Duration <= 0 {
+		return Stats{}, fmt.Errorf("loadgen: duration must be positive, got %v", opts.Duration)
+	}
+	proc := opts.Arrival
+	if proc == nil {
+		proc = Constant{}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = sleepContext
+	}
+
+	sched := Schedule(proc, opts.Rate, opts.Duration, opts.Seed)
+	st := Stats{
+		Arrival:   proc.Name(),
+		Offered:   opts.Rate,
+		Window:    opts.Duration,
+		Scheduled: len(sched),
+	}
+
+	var (
+		latHist, svcHist, waitHist stats.AtomicLatencyHistogram
+		dispatched, skipped, errs  atomic.Int64
+		endNs                      atomic.Int64 // latest completion, ns offset from t0
+	)
+	subRec := metrics.SubstrateShardOf(opts.Rec)
+
+	t0 := now()
+	execOne := func(offset time.Duration) {
+		if ctx.Err() != nil {
+			skipped.Add(1)
+			return
+		}
+		dispatched.Add(1)
+		intended := t0.Add(offset)
+		actual := now()
+		err := runIsolated(ctx, op)
+		end := now()
+
+		wait := actual.Sub(intended)
+		if wait < 0 {
+			wait = 0
+		}
+		lat := end.Sub(intended)
+		svc := end.Sub(actual)
+		latHist.Observe(lat)
+		svcHist.Observe(svc)
+		waitHist.Observe(wait)
+		if subRec != nil {
+			subRec.ObserveLatency(OpRequest, lat)
+			subRec.ObserveLatency(OpService, svc)
+			subRec.ObserveLatency(OpWait, wait)
+		}
+		if err != nil {
+			errs.Add(1)
+		}
+		for {
+			cur := endNs.Load()
+			if ns := int64(end.Sub(t0)); ns > cur {
+				if !endNs.CompareAndSwap(cur, ns) {
+					continue
+				}
+			}
+			break
+		}
+	}
+
+	var wg sync.WaitGroup
+	var jobs chan time.Duration
+	if opts.MaxInflight > 0 {
+		// A bounded pool: arrivals past the cap queue (with the queueing time
+		// still charged from their intended start). The channel holds the
+		// whole schedule, so the dispatcher itself never blocks on capacity.
+		jobs = make(chan time.Duration, len(sched))
+		for w := 0; w < opts.MaxInflight; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for off := range jobs {
+					execOne(off)
+				}
+			}()
+		}
+	}
+
+	// The dispatcher walks the precomputed schedule on the clock. It reads
+	// nothing from completions — that independence is what makes the loop
+	// open.
+	cancelled := false
+	for _, off := range sched {
+		if ctx.Err() != nil {
+			skipped.Add(1)
+			cancelled = true
+			continue
+		}
+		if wait := t0.Add(off).Sub(now()); wait > 0 {
+			sleep(wait)
+		}
+		if opts.MaxInflight > 0 {
+			jobs <- off
+		} else {
+			wg.Add(1)
+			go func(off time.Duration) {
+				defer wg.Done()
+				execOne(off)
+			}(off)
+		}
+	}
+	if jobs != nil {
+		close(jobs)
+	}
+	wg.Wait()
+
+	st.Dispatched = int(dispatched.Load())
+	st.Skipped = int(skipped.Load())
+	st.Errors = int(errs.Load())
+	st.Elapsed = time.Duration(endNs.Load())
+	if st.Elapsed <= 0 {
+		st.Elapsed = now().Sub(t0)
+	}
+	if span := max(st.Elapsed, st.Window); span > 0 {
+		st.Achieved = float64(st.Dispatched-st.Errors) / span.Seconds()
+	}
+	st.Latency = summarize(&latHist)
+	st.Service = summarize(&svcHist)
+	st.Wait = summarize(&waitHist)
+	if cancelled {
+		return st, fmt.Errorf("loadgen: cancelled after %d/%d operations: %w",
+			st.Dispatched, st.Scheduled, ctx.Err())
+	}
+	return st, nil
+}
+
+// runIsolated invokes op with panic isolation, so one exploding operation
+// is an error in the stats rather than a crashed load generator.
+func runIsolated(ctx context.Context, op func(context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("loadgen: operation panicked: %v", r)
+		}
+	}()
+	return op(ctx)
+}
+
+// sleepContext is the default sleeper. Plain time.Sleep is fine here: the
+// dispatcher re-checks the context before every dispatch, and scheduling
+// gaps are bounded by the window.
+func sleepContext(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,216 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+)
+
+// TestRunExecutesSchedule runs a trivial operation under a constant load
+// and checks the accounting: everything scheduled is dispatched, nothing
+// errors, achieved tracks offered.
+func TestRunExecutesSchedule(t *testing.T) {
+	var calls atomic.Int64
+	st, err := Run(context.Background(), Options{Rate: 500, Duration: 200 * time.Millisecond},
+		func(context.Context) error { calls.Add(1); return nil })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Scheduled != 100 {
+		t.Fatalf("scheduled %d, want 100", st.Scheduled)
+	}
+	if st.Dispatched != st.Scheduled || int(calls.Load()) != st.Scheduled {
+		t.Fatalf("dispatched %d, calls %d, want %d", st.Dispatched, calls.Load(), st.Scheduled)
+	}
+	if st.Errors != 0 || st.Skipped != 0 {
+		t.Fatalf("errors=%d skipped=%d, want 0/0", st.Errors, st.Skipped)
+	}
+	if st.Achieved < 400 || st.Achieved > 550 {
+		t.Fatalf("achieved %.0f/s, want about 500/s", st.Achieved)
+	}
+	if st.Latency.Count != 100 || st.Service.Count != 100 || st.Wait.Count != 100 {
+		t.Fatalf("latency counts %d/%d/%d, want 100 each",
+			st.Latency.Count, st.Service.Count, st.Wait.Count)
+	}
+}
+
+// TestCoordinatedOmissionGuard is the regression test for intended-start
+// recording. One operation stalls; with a single executor every subsequent
+// arrival queues behind it. A closed-loop (service-time) view sees only
+// fast operations plus one slow one — the queueing delay vanishes. The
+// intended-start view must charge that delay to every queued request.
+func TestCoordinatedOmissionGuard(t *testing.T) {
+	const stall = 80 * time.Millisecond
+	var n atomic.Int64
+	st, err := Run(context.Background(), Options{
+		Rate:        200, // 5ms apart
+		Duration:    150 * time.Millisecond,
+		MaxInflight: 1, // a single server: arrivals queue behind the stall
+	}, func(context.Context) error {
+		if n.Add(1) == 1 {
+			time.Sleep(stall)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Dispatched != st.Scheduled {
+		t.Fatalf("dispatched %d of %d", st.Dispatched, st.Scheduled)
+	}
+	// The service view is blind to the stall: its median is the fast path.
+	if st.Service.P50 > 10*time.Millisecond {
+		t.Fatalf("service p50 %v unexpectedly slow", st.Service.P50)
+	}
+	// The intended-start view is not: arrivals queued behind the stall carry
+	// their full waiting time, so the p95 tail must be within reach of the
+	// stall itself, far above anything the service view reports.
+	if st.Latency.P95 < stall/2 {
+		t.Fatalf("intended-start p95 %v did not surface the %v stall (coordinated omission)",
+			st.Latency.P95, stall)
+	}
+	if st.Wait.Max < stall/2 {
+		t.Fatalf("queueing delay max %v did not surface the stall", st.Wait.Max)
+	}
+	// And the two views must actually diverge.
+	if st.Latency.P95 < 4*st.Service.P50 {
+		t.Fatalf("intended p95 %v vs service p50 %v: views did not diverge",
+			st.Latency.P95, st.Service.P50)
+	}
+}
+
+// TestRunRecordsIntoCollector verifies the metrics-pipeline mirror: the
+// request/service/wait observations land substrate-marked, so the
+// collector's Throughput still counts only the operations' own user-level
+// measurements — each logical operation exactly once, never inflated by
+// the load generator's bookkeeping.
+func TestRunRecordsIntoCollector(t *testing.T) {
+	c := metrics.NewCollector("under-load")
+	c.Start()
+	st, err := Run(context.Background(), Options{
+		Rate: 300, Duration: 100 * time.Millisecond, Rec: c,
+	}, func(context.Context) error {
+		// The operation measures itself at the user level, as a real
+		// workload execution does.
+		c.ObserveLatency("work", time.Microsecond)
+		return nil
+	})
+	c.Stop()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	res := c.Snapshot()
+	byOp := map[string]metrics.OpStats{}
+	for _, op := range res.Ops {
+		byOp[op.Op] = op
+	}
+	for _, name := range []string{OpRequest, OpService, OpWait} {
+		rec, ok := byOp[name]
+		if !ok || !rec.Substrate {
+			t.Fatalf("%s missing or not substrate-marked: %+v", name, byOp[name])
+		}
+		if rec.Count != uint64(st.Dispatched) {
+			t.Fatalf("%s count %d, want %d", name, rec.Count, st.Dispatched)
+		}
+	}
+	if work, ok := byOp["work"]; !ok || work.Substrate {
+		t.Fatalf("operation's own measurement missing or demoted: %+v", byOp["work"])
+	}
+	// Throughput counts the operations' own observations once — not the
+	// loadgen echoes on top.
+	want := float64(st.Dispatched) / res.Elapsed.Seconds()
+	if res.Throughput < want*0.99 || res.Throughput > want*1.01 {
+		t.Fatalf("throughput %.1f double-counts loadgen ops (want %.1f)", res.Throughput, want)
+	}
+}
+
+// TestRunCountsErrorsAndPanics verifies per-operation failure isolation.
+func TestRunCountsErrorsAndPanics(t *testing.T) {
+	var n atomic.Int64
+	st, err := Run(context.Background(), Options{Rate: 100, Duration: 100 * time.Millisecond},
+		func(context.Context) error {
+			switch n.Add(1) {
+			case 1:
+				return errors.New("op failed")
+			case 2:
+				panic("op exploded")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Errors != 2 {
+		t.Fatalf("errors %d, want 2 (one error + one panic)", st.Errors)
+	}
+	if st.Dispatched != st.Scheduled {
+		t.Fatalf("dispatched %d of %d", st.Dispatched, st.Scheduled)
+	}
+}
+
+// TestRunCancellation verifies a cancelled context stops dispatch, reports
+// the remainder as skipped and returns the context error.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	_, err := Run(ctx, Options{Rate: 100, Duration: 2 * time.Second},
+		func(context.Context) error {
+			if n.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled wrap, got %v", err)
+	}
+	if got := int(n.Load()); got >= 200 {
+		t.Fatalf("dispatch did not stop: %d operations ran", got)
+	}
+}
+
+// TestRunRejectsBadOptions covers the validation errors.
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Rate: 0, Duration: time.Second}, nil); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Run(context.Background(), Options{Rate: 10, Duration: 0}, nil); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+// TestRunVirtualClock drives the pacer on an injected clock and observes
+// the dispatcher's sleeps: with instant operations it must sleep exactly
+// the schedule's gaps — the dispatcher paces on the clock, never on
+// completions. (The sleep hook is only ever called by the dispatcher
+// goroutine, so the slice needs no lock.)
+func TestRunVirtualClock(t *testing.T) {
+	var clock atomic.Int64 // nanoseconds since the virtual epoch
+	base := time.Unix(1000, 0)
+	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
+	var slept []time.Duration
+	sleep := func(d time.Duration) { clock.Add(int64(d)); slept = append(slept, d) }
+	st, err := Run(context.Background(), Options{
+		Rate: 10, Duration: time.Second,
+		Now: now, Sleep: sleep,
+	}, func(context.Context) error { return nil })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Scheduled != 10 || st.Dispatched != 10 {
+		t.Fatalf("scheduled %d dispatched %d, want 10/10", st.Scheduled, st.Dispatched)
+	}
+	// First arrival is at offset 0 (no sleep); the other nine are 100ms
+	// apart on an otherwise idle virtual clock.
+	if len(slept) != 9 {
+		t.Fatalf("dispatcher slept %d times, want 9 (%v)", len(slept), slept)
+	}
+	for i, d := range slept {
+		if d != 100*time.Millisecond {
+			t.Fatalf("sleep %d = %v, want 100ms", i, d)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/loadgen"
+)
+
+// This file renders throughput-vs-latency curves: the headline figure of a
+// latency-under-load evaluation. A LoadCurve is a sequence of open-loop
+// runs of the same workload at increasing offered rates; rendering it as a
+// table (or exporting it as JSON) shows where achieved throughput stops
+// tracking offered load and the latency percentiles take off — the
+// saturation knee.
+
+// LoadPoint is one point of a load curve: one open-loop run at one offered
+// rate.
+type LoadPoint struct {
+	// Offered and Achieved are the configured and sustained rates (ops/s).
+	Offered  float64 `json:"offered"`
+	Achieved float64 `json:"achieved"`
+	// Dispatched counts operations started; Errors the ones that failed.
+	Dispatched int `json:"dispatched"`
+	Errors     int `json:"errors,omitempty"`
+	// The latency percentiles are measured from each operation's intended
+	// start, so queueing delay under overload is fully visible.
+	P50  time.Duration `json:"p50"`
+	P95  time.Duration `json:"p95"`
+	P99  time.Duration `json:"p99"`
+	Max  time.Duration `json:"max"`
+	Mean time.Duration `json:"mean"`
+}
+
+// PointFromStats digests one open-loop run into a curve point.
+func PointFromStats(st *loadgen.Stats) LoadPoint {
+	return LoadPoint{
+		Offered:    st.Offered,
+		Achieved:   st.Achieved,
+		Dispatched: st.Dispatched,
+		Errors:     st.Errors,
+		P50:        st.Latency.P50,
+		P95:        st.Latency.P95,
+		P99:        st.Latency.P99,
+		Max:        st.Latency.Max,
+		Mean:       st.Latency.Mean,
+	}
+}
+
+// LoadCurve is a workload's throughput-vs-latency curve: one point per
+// offered rate, in sweep order.
+type LoadCurve struct {
+	Workload string        `json:"workload"`
+	Arrival  string        `json:"arrival"`
+	Window   time.Duration `json:"window"`
+	Points   []LoadPoint   `json:"points"`
+}
+
+// loadCurveHeaders is the numeric tail of loadHeaders (reporters.go); the
+// cells come from the shared loadCells helper.
+var loadCurveHeaders = []string{"offered", "achieved", "p50", "p95", "p99", "max", "errs"}
+
+func (c LoadCurve) rows() [][]string {
+	rows := make([][]string, 0, len(c.Points))
+	for _, p := range c.Points {
+		rows = append(rows, loadCells(p.Offered, p.Achieved, p.P50, p.P95, p.P99, p.Max, p.Errors))
+	}
+	return rows
+}
+
+// header renders the curve's provenance line.
+func (c LoadCurve) header() string {
+	return fmt.Sprintf("load curve: workload=%s arrival=%s window=%v (latency from intended start)",
+		c.Workload, c.Arrival, c.Window)
+}
+
+// Text renders the curve as an aligned-text table.
+func (c LoadCurve) Text() string {
+	return c.header() + "\n\n" + Table(loadCurveHeaders, c.rows())
+}
+
+// Markdown renders the curve as a GitHub-flavored markdown table.
+func (c LoadCurve) Markdown() string {
+	return "**" + c.header() + "**\n\n" + Markdown(loadCurveHeaders, c.rows())
+}
+
+// JSON exports the curve as indented JSON.
+func (c LoadCurve) JSON() (string, error) {
+	raw, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: load curve: %w", err)
+	}
+	return string(raw) + "\n", nil
+}
+
+// Render renders the curve in the named format: "text", "markdown" or
+// "json".
+func (c LoadCurve) Render(format string) (string, error) {
+	switch format {
+	case "text":
+		return c.Text(), nil
+	case "markdown":
+		return c.Markdown(), nil
+	case "json":
+		return c.JSON()
+	default:
+		return "", fmt.Errorf("report: unknown load curve format %q (have: text, markdown, json)", format)
+	}
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/loadgen"
+)
+
+func sampleLoadStats(offered float64) *loadgen.Stats {
+	return &loadgen.Stats{
+		Arrival: "poisson", Offered: offered, Achieved: offered * 0.9,
+		Window: time.Second, Elapsed: time.Second,
+		Scheduled: int(offered), Dispatched: int(offered), Errors: 1,
+		Latency: loadgen.LatencySummary{
+			Count: uint64(offered), Mean: 2 * time.Millisecond,
+			P50: time.Millisecond, P95: 4 * time.Millisecond,
+			P99: 9 * time.Millisecond, Max: 20 * time.Millisecond,
+		},
+	}
+}
+
+func sampleCurve() LoadCurve {
+	return LoadCurve{
+		Workload: "wordcount", Arrival: "poisson", Window: time.Second,
+		Points: []LoadPoint{
+			PointFromStats(sampleLoadStats(100)),
+			PointFromStats(sampleLoadStats(200)),
+			PointFromStats(sampleLoadStats(400)),
+		},
+	}
+}
+
+// TestLoadCurveFormats renders the same curve in all three formats.
+func TestLoadCurveFormats(t *testing.T) {
+	c := sampleCurve()
+
+	text, err := c.Render("text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wordcount", "poisson", "100/s", "400/s", "p99", "9ms"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text curve missing %q:\n%s", want, text)
+		}
+	}
+
+	md, err := c.Render("markdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md, "| offered |") || !strings.Contains(md, "| 200/s |") {
+		t.Fatalf("markdown curve malformed:\n%s", md)
+	}
+
+	js, err := c.Render("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadCurve
+	if err := json.Unmarshal([]byte(js), &back); err != nil {
+		t.Fatalf("json curve does not parse: %v\n%s", err, js)
+	}
+	if len(back.Points) != 3 || back.Points[2].Offered != 400 || back.Points[2].P99 != 9*time.Millisecond {
+		t.Fatalf("json curve lost data: %+v", back)
+	}
+
+	if _, err := c.Render("yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestReportersIncludeLoadTable verifies the latency-under-load section
+// appears in text and markdown outcomes exactly when a result ran
+// open-loop.
+func TestReportersIncludeLoadTable(t *testing.T) {
+	o := sampleOutcome()
+	var b strings.Builder
+	if err := (TextReporter{}).Report(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "latency under load") {
+		t.Fatal("closed-loop outcome grew a load table")
+	}
+
+	o.Results[0].Load = sampleLoadStats(100)
+	b.Reset()
+	if err := (TextReporter{}).Report(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"latency under load", "100/s", "90/s", "poisson"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text load table missing %q:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if err := (MarkdownReporter{}).Report(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "| w1 | poisson | 100/s |") {
+		t.Fatalf("markdown load table malformed:\n%s", b.String())
+	}
+}
+
+// TestJSONReporterCarriesLoad verifies the JSON outcome export includes
+// the load statistics verbatim.
+func TestJSONReporterCarriesLoad(t *testing.T) {
+	o := sampleOutcome()
+	o.Results[0].Load = sampleLoadStats(100)
+	var b strings.Builder
+	if err := (JSONReporter{}).Report(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Results []struct {
+			Workload string         `json:"workload"`
+			Load     *loadgen.Stats `json:"load"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].Load == nil || back.Results[0].Load.Offered != 100 {
+		t.Fatalf("json outcome lost load stats: %+v", back.Results[0])
+	}
+	if back.Results[1].Load != nil {
+		t.Fatal("closed-loop result gained load stats")
+	}
+}

@@ -27,6 +27,9 @@ func (TextReporter) Report(w io.Writer, o *scenario.Outcome) error {
 	if _, err := io.WriteString(w, Table(outcomeHeaders, outcomeRows(o))); err != nil {
 		return err
 	}
+	if err := writeLoadTable(w, o, false); err != nil {
+		return err
+	}
 	return writeSummary(w, o, "")
 }
 
@@ -39,6 +42,9 @@ func (MarkdownReporter) Format() string { return "markdown" }
 // Report implements scenario.Reporter.
 func (MarkdownReporter) Report(w io.Writer, o *scenario.Outcome) error {
 	if _, err := io.WriteString(w, Markdown(outcomeHeaders, outcomeRows(o))); err != nil {
+		return err
+	}
+	if err := writeLoadTable(w, o, true); err != nil {
 		return err
 	}
 	return writeSummary(w, o, "**")
@@ -96,6 +102,74 @@ func outcomeRows(o *scenario.Outcome) [][]string {
 		})
 	}
 	return rows
+}
+
+// loadHeaders are the columns of the latency-under-load table. Latency
+// percentiles are measured from each operation's intended start, so they
+// include queueing delay behind slow operations. The numeric tail matches
+// loadCurveHeaders — both render through loadCells.
+var loadHeaders = []string{"workload", "arrival", "offered", "achieved", "p50", "p95", "p99", "max", "errs"}
+
+// LoadRows renders one latency-under-load row per open-loop result; empty
+// when the outcome ran closed-loop.
+func LoadRows(o *scenario.Outcome) [][]string {
+	var rows [][]string
+	for _, r := range o.Results {
+		if r.Load == nil {
+			continue
+		}
+		cells := loadCells(r.Load.Offered, r.Load.Achieved,
+			r.Load.Latency.P50, r.Load.Latency.P95, r.Load.Latency.P99, r.Load.Latency.Max,
+			r.Load.Errors)
+		rows = append(rows, append([]string{r.Workload, r.Load.Arrival}, cells...))
+	}
+	return rows
+}
+
+// loadCells renders the numeric cells shared by the per-outcome load table
+// and the load-curve table, so the two can never drift apart in format.
+func loadCells(offered, achieved float64, p50, p95, p99, max time.Duration, errs int) []string {
+	return []string{
+		fmt.Sprintf("%.0f/s", offered),
+		fmt.Sprintf("%.0f/s", achieved),
+		roundLatency(p50),
+		roundLatency(p95),
+		roundLatency(p99),
+		roundLatency(max),
+		fmt.Sprintf("%d", errs),
+	}
+}
+
+// roundLatency renders a duration at a resolution fit for a table cell.
+func roundLatency(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
+
+// writeLoadTable appends the latency-under-load table when any result ran
+// open-loop.
+func writeLoadTable(w io.Writer, o *scenario.Outcome, markdown bool) error {
+	rows := LoadRows(o)
+	if len(rows) == 0 {
+		return nil
+	}
+	title := "\nlatency under load (from intended start)\n"
+	render := Table
+	if markdown {
+		title = "\n**latency under load (from intended start)**\n\n"
+		render = Markdown
+	}
+	if _, err := io.WriteString(w, title); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, render(loadHeaders, rows))
+	return err
 }
 
 // writeSummary appends the per-category digest and probe evidence; em

@@ -8,6 +8,7 @@ import (
 
 	"github.com/bdbench/bdbench/internal/datagen/veracity"
 	"github.com/bdbench/bdbench/internal/engine"
+	"github.com/bdbench/bdbench/internal/loadgen"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/suites"
 	"github.com/bdbench/bdbench/internal/workloads"
@@ -47,6 +48,9 @@ type Result struct {
 	Reps []metrics.Result `json:"reps,omitempty"`
 	// Throughput summarizes ops/s across the successful repetitions.
 	Throughput engine.RepSummary `json:"throughput"`
+	// Load carries the latency-under-load statistics for workloads run in
+	// open-loop mode (a scenario or entry rate was set); nil otherwise.
+	Load *loadgen.Stats `json:"load,omitempty"`
 	// Err is the first error observed across repetitions; Error carries its
 	// message for exporters.
 	Err   error  `json:"-"`
@@ -70,8 +74,12 @@ type Outcome struct {
 	Steps []StepTrace `json:"steps"`
 	// Results carries one entry per selected workload, in entry order.
 	Results []Result `json:"results"`
-	// Summary is the Analysis step's digest: per-category mean throughput
-	// over the successful workloads.
+	// Summary is the Analysis step's digest: per-category mean ops/s over
+	// the successful workloads. The two execution modes measure different
+	// units (closed-loop: user operations/s; open-loop: achieved workload
+	// executions/s), so a category never averages across modes: categories
+	// with any closed-loop results summarize those, all-open-loop
+	// categories summarize achieved rates.
 	Summary map[workloads.Category]float64 `json:"summary"`
 	// Probes holds per-suite data-generation evidence when probing was
 	// requested, one entry per distinct suite in the selection.
@@ -109,6 +117,17 @@ type Reporter interface {
 	Report(w io.Writer, o *Outcome) error
 }
 
+// LoadOverride forces open-loop load generation onto a run regardless of
+// what the spec declares — the mechanism behind bdbench.WithLoad and the
+// CLI's loadcurve sweep. Zero fields keep the spec's values; a positive
+// Rate also clears every per-entry load override, so one override governs
+// the whole selection (a sweep must offer each workload the same rate).
+type LoadOverride struct {
+	Rate     float64
+	Arrival  string
+	Duration time.Duration
+}
+
 // Options tunes a Run beyond what the spec declares.
 type Options struct {
 	// Registry resolves the spec's names; nil means Default().
@@ -119,6 +138,8 @@ type Options struct {
 	// probes over every distinct suite in the selection (the full Figure 1
 	// process). Without it the step only records the generators in play.
 	ProbeData bool
+	// Load, when non-nil, overrides the spec's open-loop settings.
+	Load *LoadOverride
 }
 
 // Run executes the five-step benchmarking process for the spec: validate
@@ -134,6 +155,26 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	reg := opts.Registry
 	if reg == nil {
 		reg = Default()
+	}
+	if l := opts.Load; l != nil {
+		if l.Rate > 0 {
+			spec.Rate = l.Rate
+			// Copy before clearing per-entry overrides: the entries slice
+			// shares its backing array with the caller's Scenario.
+			entries := append([]Entry(nil), spec.Entries...)
+			for i := range entries {
+				entries[i].Rate = 0
+				entries[i].Arrival = ""
+				entries[i].Duration = 0
+			}
+			spec.Entries = entries
+		}
+		if l.Arrival != "" {
+			spec.Arrival = l.Arrival
+		}
+		if l.Duration > 0 {
+			spec.Duration = Duration(l.Duration)
+		}
 	}
 	n := spec.Normalized()
 	out := &Outcome{Spec: n}
@@ -203,7 +244,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	t3 := time.Now()
 	engTasks := make([]engine.Task, len(tasks))
 	for i, t := range tasks {
-		engTasks[i] = engine.Task{Workload: t.Workload, Category: t.Category, Params: t.Params, Reps: t.Reps}
+		engTasks[i] = engine.Task{Workload: t.Workload, Category: t.Category, Params: t.Params, Reps: t.Reps, Load: t.Load}
 	}
 	cfg := engine.Config{
 		Workers: n.Parallel,
@@ -222,6 +263,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 			Domain:     tasks[i].Workload.Domain(),
 			Result:     r.Median,
 			Throughput: r.Throughput,
+			Load:       r.Load,
 			Err:        r.Err,
 		}
 		if r.Err != nil {
@@ -231,14 +273,37 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 			out.Results[i].Reps = append(out.Results[i].Reps, rep.Result)
 		}
 	}
-	record(StepExecution, fmt.Sprintf("%d workloads executed (reps=%d warmup=%d timeout=%v)",
-		len(out.Results), cfg.Reps, cfg.Warmup, cfg.Timeout), t3)
+	execDetail := fmt.Sprintf("%d workloads executed (reps=%d warmup=%d timeout=%v)",
+		len(out.Results), cfg.Reps, cfg.Warmup, cfg.Timeout)
+	if n.openLoop() {
+		execDetail = fmt.Sprintf("%d workloads executed (open-loop: rate=%g arrival=%s duration=%v warmup=%d)",
+			len(out.Results), n.Rate, n.Arrival, time.Duration(n.Duration), cfg.Warmup)
+	}
+	record(StepExecution, execDetail, t3)
 
 	// Step 5: Analysis & evaluation — energy/cost models and the
-	// per-category throughput digest.
+	// per-category digest. Closed-loop throughput (user ops/s) and
+	// open-loop achieved rate (workload executions/s) are different units,
+	// so they are accumulated separately and never averaged together: a
+	// category summarizes its closed-loop results when it has any, and its
+	// achieved rates only when it ran entirely open-loop.
 	t4 := time.Now()
 	out.Summary = map[workloads.Category]float64{}
-	counts := map[workloads.Category]int{}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	closed := map[workloads.Category]*acc{}
+	open := map[workloads.Category]*acc{}
+	add := func(m map[workloads.Category]*acc, cat workloads.Category, v float64) {
+		a := m[cat]
+		if a == nil {
+			a = &acc{}
+			m[cat] = a
+		}
+		a.sum += v
+		a.n++
+	}
 	for i := range out.Results {
 		r := &out.Results[i]
 		if r.Err != nil {
@@ -248,13 +313,17 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		if n.Energy.Nodes > 0 || n.Cost.Nodes > 0 {
 			metrics.Apply(&r.Result, n.Energy, n.Cost, r.Result.Elapsed)
 		}
-		out.Summary[r.Category] += r.Result.Throughput
-		counts[r.Category]++
-	}
-	for cat, total := range out.Summary {
-		if counts[cat] > 0 {
-			out.Summary[cat] = total / float64(counts[cat])
+		if r.Load != nil {
+			add(open, r.Category, r.Load.Achieved)
+		} else {
+			add(closed, r.Category, r.Result.Throughput)
 		}
+	}
+	for cat, a := range open {
+		out.Summary[cat] = a.sum / float64(a.n)
+	}
+	for cat, a := range closed {
+		out.Summary[cat] = a.sum / float64(a.n) // closed-loop wins a mixed category
 	}
 	record(StepAnalysis, fmt.Sprintf("%d categories summarized, %d failures", len(out.Summary), out.Failures), t4)
 	if out.Failures > 0 {

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/bdbench/bdbench/internal/loadgen"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
 	"github.com/bdbench/bdbench/internal/workloads"
@@ -78,6 +79,14 @@ type Entry struct {
 	Workers int    `json:"workers,omitempty"`
 	Seed    uint64 `json:"seed,omitempty"`
 	Reps    int    `json:"reps,omitempty"`
+
+	// Rate, Arrival and Duration override the scenario-wide open-loop load
+	// settings for this entry's workloads (see the Spec fields of the same
+	// names). Zero inherits; a positive Rate on an entry switches its
+	// workloads to open-loop mode even when the scenario is closed-loop.
+	Rate     float64  `json:"rate,omitempty"`
+	Arrival  string   `json:"arrival,omitempty"`
+	Duration Duration `json:"duration,omitempty"`
 }
 
 // describe renders the entry's selection for error messages.
@@ -118,6 +127,21 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 	// Seed makes workload outputs deterministic (default 0).
 	Seed uint64 `json:"seed,omitempty"`
+
+	// Rate, when positive, switches every selected workload to open-loop
+	// load generation: executions are dispatched at the arrival process's
+	// intended start times at this mean offered rate (operations per
+	// second), independently of completions, and latency is recorded from
+	// the intended start so queueing delay is never hidden by coordinated
+	// omission. Zero (the default) keeps the closed-loop reps mode.
+	Rate float64 `json:"rate,omitempty"`
+	// Arrival names the arrival process shaping the open-loop schedule:
+	// "constant", "poisson", "bursty" or "ramp" (default "constant").
+	// Setting it without a Rate anywhere in the spec is an error.
+	Arrival string `json:"arrival,omitempty"`
+	// Duration is the open-loop scheduling window (default 10s when Rate is
+	// set). Setting it without a Rate anywhere in the spec is an error.
+	Duration Duration `json:"duration,omitempty"`
 
 	// Parallel bounds how many workloads the engine runs concurrently
 	// (default: one per CPU).
@@ -171,14 +195,44 @@ func (s Spec) Normalized() Spec {
 	if s.Reps == 0 {
 		s.Reps = 1
 	}
+	if s.openLoop() {
+		if s.Arrival == "" {
+			s.Arrival = loadgen.Constant{}.Name()
+		}
+		if s.Duration == 0 {
+			s.Duration = Duration(DefaultLoadWindow)
+		}
+	}
 	return s
+}
+
+// DefaultLoadWindow is the open-loop scheduling window used when a spec
+// sets a rate without a duration.
+const DefaultLoadWindow = 10 * time.Second
+
+// openLoop reports whether any part of the spec asks for open-loop load
+// generation (a positive scenario-wide or per-entry rate).
+func (s Spec) openLoop() bool {
+	if s.Rate > 0 {
+		return true
+	}
+	for _, e := range s.Entries {
+		if e.Rate > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // String summarizes the normalized run settings.
 func (s Spec) String() string {
 	n := s.Normalized()
-	return fmt.Sprintf("scenario %q: %d entries, scale=%d workers=%d seed=%d parallel=%d reps=%d warmup=%d timeout=%v",
+	desc := fmt.Sprintf("scenario %q: %d entries, scale=%d workers=%d seed=%d parallel=%d reps=%d warmup=%d timeout=%v",
 		n.Name, len(n.Entries), n.Scale, n.Workers, n.Seed, n.Parallel, n.Reps, n.Warmup, time.Duration(n.Timeout))
+	if n.openLoop() {
+		desc += fmt.Sprintf(" rate=%g arrival=%s duration=%v", n.Rate, n.Arrival, time.Duration(n.Duration))
+	}
+	return desc
 }
 
 // Validate checks the spec against the registry (nil means Default())
@@ -204,6 +258,9 @@ type Task struct {
 	Params   workloads.Params
 	// Reps, when positive, overrides the scenario-wide repetition count.
 	Reps int
+	// Load, when non-nil, runs this task open-loop at the resolved offered
+	// rate, arrival process and window.
+	Load *loadgen.Options
 }
 
 // categoryOf validates a category filter string.
@@ -240,6 +297,20 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 	if n.Scale < 0 || n.Workers < 0 || n.Parallel < 0 || n.Reps < 0 || n.Warmup < 0 || n.Timeout < 0 {
 		return nil, fmt.Errorf("scenario: negative run settings in %s", n)
 	}
+	if n.Rate < 0 || n.Duration < 0 {
+		return nil, fmt.Errorf("scenario: negative load settings (rate=%g duration=%v) in %s",
+			n.Rate, time.Duration(n.Duration), n)
+	}
+	if n.Rate == 0 && !n.openLoop() && (n.Arrival != "" || n.Duration != 0) {
+		return nil, fmt.Errorf("scenario: arrival/duration (arrival=%q duration=%v) set without a rate; "+
+			"set rate on the scenario or an entry to enable open-loop load generation",
+			n.Arrival, time.Duration(n.Duration))
+	}
+	if n.Arrival != "" {
+		if _, err := loadgen.ParseProcess(n.Arrival); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
 	if len(n.Entries) == 0 {
 		return nil, fmt.Errorf("scenario: empty selection: %s has no entries", n)
 	}
@@ -248,6 +319,14 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 		if e.Scale < 0 || e.Workers < 0 || e.Reps < 0 {
 			return nil, fmt.Errorf("scenario: entry %d (%s): negative override (scale=%d workers=%d reps=%d)",
 				i, e.describe(), e.Scale, e.Workers, e.Reps)
+		}
+		if e.Rate < 0 || e.Duration < 0 {
+			return nil, fmt.Errorf("scenario: entry %d (%s): negative load override (rate=%g duration=%v)",
+				i, e.describe(), e.Rate, time.Duration(e.Duration))
+		}
+		load, err := resolveLoad(n, e)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: entry %d (%s): %w", i, e.describe(), err)
 		}
 		resolved, err := resolveEntry(e, reg)
 		if err != nil {
@@ -266,6 +345,9 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 		if e.Seed != 0 {
 			params.Seed = e.Seed
 		}
+		if load != nil {
+			load.Seed = params.Seed
+		}
 		for _, c := range resolved {
 			tasks = append(tasks, Task{
 				Entry:    i,
@@ -274,10 +356,45 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 				Category: c.cat,
 				Params:   params,
 				Reps:     e.Reps,
+				Load:     load,
 			})
 		}
 	}
 	return tasks, nil
+}
+
+// resolveLoad layers an entry's load overrides onto the normalized
+// scenario-wide settings and returns the open-loop options for the entry's
+// tasks — nil when the entry runs closed-loop. The seed is filled by the
+// caller (it follows the same inheritance as Params.Seed).
+func resolveLoad(n Spec, e Entry) (*loadgen.Options, error) {
+	rate := n.Rate
+	if e.Rate > 0 {
+		rate = e.Rate
+	}
+	if rate == 0 {
+		if e.Arrival != "" || e.Duration != 0 {
+			return nil, fmt.Errorf("load override (arrival=%q duration=%v) without a rate",
+				e.Arrival, time.Duration(e.Duration))
+		}
+		return nil, nil
+	}
+	arrival := n.Arrival
+	if e.Arrival != "" {
+		arrival = e.Arrival
+	}
+	proc, err := loadgen.ParseProcess(arrival)
+	if err != nil {
+		return nil, err
+	}
+	// n is normalized and some rate is in play, so n.Duration (and
+	// n.Arrival) already carry their defaults — defaulting happens exactly
+	// once, in Normalized.
+	window := time.Duration(n.Duration)
+	if e.Duration > 0 {
+		window = time.Duration(e.Duration)
+	}
+	return &loadgen.Options{Rate: rate, Arrival: proc, Duration: window}, nil
 }
 
 // candidate pairs a workload with the category it was selected under (the

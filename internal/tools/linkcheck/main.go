@@ -1,0 +1,98 @@
+// Command linkcheck verifies that relative markdown links resolve. It
+// scans the markdown files (or directories of them) named on the command
+// line, extracts inline links, and fails when a non-URL target does not
+// exist on disk relative to the containing file. CI runs it over README.md
+// and docs/ so documentation links cannot rot.
+//
+//	go run ./internal/tools/linkcheck README.md docs
+//
+// External links (http, https, mailto) are not fetched — CI must not
+// depend on the network — and pure fragment links (#section) are skipped.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline markdown links and images: [text](target).
+// Reference-style links and autolinks are out of scope for this tree.
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fail("stat %s: %v", arg, err)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fail("walk %s: %v", arg, err)
+		}
+	}
+
+	broken := 0
+	checked := 0
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fail("read %s: %v", file, err)
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			// Strip a #fragment; a bare-file target keeps its own existence check.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+				if target == "" {
+					continue
+				}
+			}
+			checked++
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "linkcheck: %s: broken link %q (resolved %s)\n", file, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fail("%d broken link(s) across %d file(s)", broken, len(files))
+	}
+	fmt.Printf("linkcheck: %d link(s) ok across %d file(s)\n", checked, len(files))
+}
+
+// skip reports whether the target is out of scope: external URLs and
+// mail addresses are not fetched.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "linkcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package bdbench
 
 import (
 	"context"
+	"time"
 
 	"github.com/bdbench/bdbench/internal/scenario"
 )
@@ -53,6 +54,40 @@ func WithEvents(fn func(Event)) Option {
 // process. Probing trains generator models, so it costs seconds per suite.
 func WithDataProbes() Option {
 	return func(o *scenario.Options) { o.ProbeData = true }
+}
+
+// WithLoad switches every selected workload to open-loop load generation,
+// overriding the scenario's own rate/arrival/duration fields (including
+// per-entry overrides, so one offered rate governs the whole selection —
+// what a load-curve sweep needs). Executions are dispatched at the arrival
+// process's intended start times at rate operations per second over the
+// duration window, independently of completions, and latency is recorded
+// from the intended start: queueing delay behind a slow operation lands in
+// the tail percentiles instead of being hidden by coordinated omission.
+// Each result's latency-under-load digest is in WorkloadResult.Load.
+func WithLoad(rate float64, duration time.Duration) Option {
+	return func(o *scenario.Options) {
+		loadOverride(o).Rate = rate
+		loadOverride(o).Duration = duration
+	}
+}
+
+// WithArrival selects the arrival process for an open-loop run — one of
+// Arrivals(): "constant" (evenly spaced, the default), "poisson"
+// (exponential inter-arrivals), "bursty" (on/off cycles) or "ramp"
+// (linearly increasing rate). It composes with WithLoad or with a
+// scenario-declared rate.
+func WithArrival(name string) Option {
+	return func(o *scenario.Options) { loadOverride(o).Arrival = name }
+}
+
+// loadOverride lazily allocates the load override shared by WithLoad and
+// WithArrival.
+func loadOverride(o *scenario.Options) *scenario.LoadOverride {
+	if o.Load == nil {
+		o.Load = &scenario.LoadOverride{}
+	}
+	return o.Load
 }
 
 // Run executes the scenario's five-step benchmarking process on the

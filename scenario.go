@@ -9,14 +9,17 @@ import (
 
 // Scenario is a declarative, JSON-round-trippable benchmark spec: what to
 // run (Entries composing workloads across any suites) and how to run it
-// (scale, seed, engine settings, metric models). Zero "how" fields mean
-// "default"; Normalize fills defaults exactly once and Validate rejects
-// everything else, reporting the normalized values a run would use.
+// (scale, seed, engine settings, open-loop load settings, metric models).
+// Zero "how" fields mean "default"; Normalized fills defaults exactly once
+// and Validate rejects everything else, reporting the normalized values a
+// run would use. The full field-by-field reference lives in
+// docs/SCENARIO.md.
 type Scenario = scenario.Spec
 
 // Entry is one selection of a scenario: pick workloads from a suite's
 // inventory or the registry at large, narrowed by name, category, domain
-// or stack, with optional per-entry scale/workers/seed/reps overrides.
+// or stack, with optional per-entry scale/workers/seed/reps and
+// rate/arrival/duration overrides.
 type Entry = scenario.Entry
 
 // Duration is a time.Duration that round-trips through JSON as a string
