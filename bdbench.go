@@ -47,7 +47,11 @@
 // markdown or JSON, and LoadCurve/FormatLoadCurve render
 // throughput-vs-latency sweeps.
 // The datagen/... and stacks/... directories re-export the data
-// generators and simulated stacks for direct use.
+// generators and simulated stacks for direct use. Corpus generation is
+// chunked and parallel (DataGen, DataGenerators, RegisterDataGenerator):
+// chunk RNGs derive from (seed, chunk index), so output bytes are
+// identical at any worker count and data-preparation wall time is
+// reported as a first-class metric (Result.DataPrep).
 //
 // Entry points: the bdbench CLI (cmd/bdbench) regenerates every table and
 // figure and runs scenario spec files; the examples directory demonstrates
@@ -56,4 +60,4 @@
 package bdbench
 
 // Version is the release version of the bdbench module.
-const Version = "1.2.0"
+const Version = "1.3.0"

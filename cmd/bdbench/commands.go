@@ -20,34 +20,36 @@ import (
 // explicitly set ones when it was loaded from a spec file (so a spec's
 // values win unless the user overrides them).
 type scenarioFlags struct {
-	fs           *flag.FlagSet
-	scale        *int
-	seed         *uint64
-	stackWorkers *int
-	workers      *int
-	reps         *int
-	warmup       *int
-	timeout      *time.Duration
-	rate         *float64
-	arrival      *string
-	duration     *time.Duration
-	progress     *bool
+	fs             *flag.FlagSet
+	scale          *int
+	seed           *uint64
+	stackWorkers   *int
+	datagenWorkers *int
+	workers        *int
+	reps           *int
+	warmup         *int
+	timeout        *time.Duration
+	rate           *float64
+	arrival        *string
+	duration       *time.Duration
+	progress       *bool
 }
 
 func addScenarioFlags(fs *flag.FlagSet) *scenarioFlags {
 	return &scenarioFlags{
-		fs:           fs,
-		scale:        fs.Int("scale", 0, "workload scale (0 = scenario default)"),
-		seed:         fs.Uint64("seed", 42, "workload seed"),
-		stackWorkers: fs.Int("stack-workers", 0, "per-workload stack parallelism (0 = scenario default)"),
-		workers:      fs.Int("workers", 0, "concurrent workloads in the engine pool (0 = one per CPU)"),
-		reps:         fs.Int("reps", 1, "measured repetitions per workload (median reported)"),
-		warmup:       fs.Int("warmup", 0, "unmeasured warmup runs per workload"),
-		timeout:      fs.Duration("timeout", 0, "per-run deadline, e.g. 30s (0 = none)"),
-		rate:         fs.Float64("rate", 0, "open-loop offered load in ops/s (0 = closed-loop reps mode)"),
-		arrival:      fs.String("arrival", "", "open-loop arrival process: "+strings.Join(bdbench.Arrivals(), "|")),
-		duration:     fs.Duration("duration", 0, "open-loop scheduling window, e.g. 10s (requires -rate)"),
-		progress:     fs.Bool("progress", false, "stream per-repetition progress to stderr"),
+		fs:             fs,
+		scale:          fs.Int("scale", 0, "workload scale (0 = scenario default)"),
+		seed:           fs.Uint64("seed", 42, "workload seed"),
+		stackWorkers:   fs.Int("stack-workers", 0, "per-workload stack parallelism (0 = scenario default)"),
+		datagenWorkers: fs.Int("datagen-workers", 0, "chunk workers preparing workload input (0 = one per CPU)"),
+		workers:        fs.Int("workers", 0, "concurrent workloads in the engine pool (0 = one per CPU)"),
+		reps:           fs.Int("reps", 1, "measured repetitions per workload (median reported)"),
+		warmup:         fs.Int("warmup", 0, "unmeasured warmup runs per workload"),
+		timeout:        fs.Duration("timeout", 0, "per-run deadline, e.g. 30s (0 = none)"),
+		rate:           fs.Float64("rate", 0, "open-loop offered load in ops/s (0 = closed-loop reps mode)"),
+		arrival:        fs.String("arrival", "", "open-loop arrival process: "+strings.Join(bdbench.Arrivals(), "|")),
+		duration:       fs.Duration("duration", 0, "open-loop scheduling window, e.g. 10s (requires -rate)"),
+		progress:       fs.Bool("progress", false, "stream per-repetition progress to stderr"),
 	}
 }
 
@@ -56,16 +58,17 @@ func addScenarioFlags(fs *flag.FlagSet) *scenarioFlags {
 // dropped by the other.
 func (sf *scenarioFlags) appliers() map[string]func(*bdbench.Scenario) {
 	return map[string]func(*bdbench.Scenario){
-		"scale":         func(s *bdbench.Scenario) { s.Scale = *sf.scale },
-		"seed":          func(s *bdbench.Scenario) { s.Seed = *sf.seed },
-		"stack-workers": func(s *bdbench.Scenario) { s.Workers = *sf.stackWorkers },
-		"workers":       func(s *bdbench.Scenario) { s.Parallel = *sf.workers },
-		"reps":          func(s *bdbench.Scenario) { s.Reps = *sf.reps },
-		"warmup":        func(s *bdbench.Scenario) { s.Warmup = *sf.warmup },
-		"timeout":       func(s *bdbench.Scenario) { s.Timeout = bdbench.Duration(*sf.timeout) },
-		"rate":          func(s *bdbench.Scenario) { s.Rate = *sf.rate },
-		"arrival":       func(s *bdbench.Scenario) { s.Arrival = *sf.arrival },
-		"duration":      func(s *bdbench.Scenario) { s.Duration = bdbench.Duration(*sf.duration) },
+		"scale":           func(s *bdbench.Scenario) { s.Scale = *sf.scale },
+		"seed":            func(s *bdbench.Scenario) { s.Seed = *sf.seed },
+		"stack-workers":   func(s *bdbench.Scenario) { s.Workers = *sf.stackWorkers },
+		"datagen-workers": func(s *bdbench.Scenario) { s.DatagenWorkers = *sf.datagenWorkers },
+		"workers":         func(s *bdbench.Scenario) { s.Parallel = *sf.workers },
+		"reps":            func(s *bdbench.Scenario) { s.Reps = *sf.reps },
+		"warmup":          func(s *bdbench.Scenario) { s.Warmup = *sf.warmup },
+		"timeout":         func(s *bdbench.Scenario) { s.Timeout = bdbench.Duration(*sf.timeout) },
+		"rate":            func(s *bdbench.Scenario) { s.Rate = *sf.rate },
+		"arrival":         func(s *bdbench.Scenario) { s.Arrival = *sf.arrival },
+		"duration":        func(s *bdbench.Scenario) { s.Duration = bdbench.Duration(*sf.duration) },
 	}
 }
 

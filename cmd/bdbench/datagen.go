@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	bdbench "github.com/bdbench/bdbench"
+)
+
+// cmdDatagen runs one named corpus generator through the chunked parallel
+// pipeline and prints its timing evidence — the generation-cost quantity
+// the paper says benchmarks must account for. The digest line is the
+// determinism contract made visible: rerun with any -workers value and the
+// digest must not change.
+func cmdDatagen(args []string) error {
+	fs := newFlagSet("datagen")
+	workload := fs.String("workload", "text", "corpus generator: "+strings.Join(bdbench.DataGenerators(), "|"))
+	scale := fs.Int("scale", 1, "corpus scale (generator-specific unit: docs, rows, edges, events, records)")
+	workers := fs.Int("workers", 0, "chunk workers (0 = one per CPU); output bytes are identical at any setting")
+	seed := fs.Uint64("seed", 42, "corpus seed; chunk RNGs derive from (seed, chunk index)")
+	format := fs.String("format", "text", "output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("datagen: unknown format %q (want text or json)", *format)
+	}
+	stat, err := bdbench.DataGen(*workload, bdbench.DataGenOptions{
+		Scale:   *scale,
+		Workers: *workers,
+		Seed:    *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(stat)
+	}
+	fmt.Printf("generator  %s\n", stat.Generator)
+	fmt.Printf("scale      %d (seed %d)\n", stat.Scale, stat.Seed)
+	fmt.Printf("workers    %d over %d chunks\n", stat.Workers, stat.Chunks)
+	fmt.Printf("items      %d\n", stat.Items)
+	fmt.Printf("bytes      %d\n", stat.Bytes)
+	fmt.Printf("elapsed    %v\n", stat.Elapsed.Round(time.Microsecond))
+	fmt.Printf("rate       %.0f items/s, %.1f MB/s\n", stat.ItemsPerSec(), stat.MBPerSec())
+	fmt.Printf("digest     sha256:%s\n", stat.Digest)
+	return nil
+}

@@ -11,6 +11,7 @@
 //	bdbench run -suite S        execute a suite's workload inventory
 //	bdbench run -spec F.json    execute a scenario spec composing suites
 //	bdbench run -rate R         execute open-loop at an offered rate
+//	bdbench datagen             run one corpus generator, print timing+digest
 //	bdbench loadcurve           sweep offered rates, print the latency curve
 //	bdbench suites              list available suite emulations
 //	bdbench workloads           list the registered workload inventory
@@ -49,6 +50,8 @@ func main() {
 		err = cmdFigure4(args)
 	case "run":
 		err = cmdRun(args)
+	case "datagen":
+		err = cmdDatagen(args)
 	case "loadcurve":
 		err = cmdLoadcurve(args)
 	case "suites":
@@ -83,6 +86,10 @@ commands:
   figure3         run the 4-step data generation process (text and table)
   figure4         run the 5-step test generation process + portability check
   run             execute a suite (-suite) or a scenario spec file (-spec)
+  datagen         run one chunk-parallel corpus generator (-workload text|
+                  table|graph|stream|weblog, -scale, -workers, -seed) and
+                  print items/bytes/elapsed plus the corpus digest; the
+                  digest is identical at any -workers value
   loadcurve       sweep open-loop offered rates over one workload and print
                   the throughput-vs-latency curve (p50/p95/p99 per rate)
   suites          list the emulated benchmark suites
@@ -105,6 +112,8 @@ engine knobs (run, figure1, experiments — shared):
   -warmup N         unmeasured warmup runs per workload
   -timeout D        per-run deadline (e.g. 30s); overrunning runs are cancelled
   -stack-workers N  parallelism of the simulated stack inside each workload
+  -datagen-workers N  chunk workers preparing each workload's input data
+                    (0 = one per CPU; pure speed knob, bytes identical)
   -progress         stream per-repetition progress to stderr
 
 open-loop load (run, figure1, experiments; loadcurve has its own flags):

@@ -57,7 +57,7 @@ func run(kind string, size int64, seed uint64, model, format string, rate, updat
 		tab := spec.GenerateParallel(size, workers)
 		return formats.WriteTable(w, tab, formats.Format(format))
 	case "graph":
-		g := graphgen.DefaultRMAT.Generate(stats.NewRNG(seed), int(size))
+		g := graphgen.DefaultRMAT.GenerateParallel(seed, int(size), workers)
 		return formats.WriteEdgeList(w, g)
 	case "stream":
 		gen := streamgen.Generator{

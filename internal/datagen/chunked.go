@@ -1,0 +1,231 @@
+package datagen
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// DefaultChunkSize is the item count per chunk used when a generator does
+// not pick its own granularity. Chunks are the unit of parallelism and of
+// determinism: output depends on the chunk plan, never on the worker count.
+const DefaultChunkSize = 4096
+
+// Chunk is one independent unit of a generation plan: items [Start, End) of
+// the corpus, generated from an RNG derived from (corpus seed, Index). Two
+// chunks share no generator state, so any subset can run on any worker in
+// any order without changing a single output byte.
+type Chunk struct {
+	Index      int
+	Start, End int64
+}
+
+// Len returns the number of items the chunk covers.
+func (c Chunk) Len() int64 { return c.End - c.Start }
+
+// PlanChunks splits total items into consecutive chunks of at most size
+// items (DefaultChunkSize when size <= 0). The plan depends only on its
+// arguments — planning is what makes chunked generation reproducible.
+func PlanChunks(total, size int64) []Chunk {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	plan := make([]Chunk, 0, (total+size-1)/size)
+	for start := int64(0); start < total; start += size {
+		end := start + size
+		if end > total {
+			end = total
+		}
+		plan = append(plan, Chunk{Index: len(plan), Start: start, End: end})
+	}
+	return plan
+}
+
+// Generate runs gen over every chunk of the plan on a bounded worker pool
+// and concatenates the chunk outputs in plan order. Each chunk's RNG is
+// derived from (seed, chunk index), so the result is identical for any
+// worker count. A chunk error — or a panic inside gen, which is recovered —
+// fails the whole generation: Generate returns nil and the first error.
+func Generate[T any](seed uint64, plan []Chunk, workers int, gen func(g *stats.RNG, c Chunk) ([]T, error)) ([]T, error) {
+	if len(plan) == 0 {
+		return nil, nil
+	}
+	parts := make([][]T, len(plan))
+	err := Parallel(seed, len(plan), workers, func(i int, g *stats.RNG) error {
+		out, err := gen(g, plan[i])
+		if err != nil {
+			return err
+		}
+		parts[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Chunked is a corpus generator family that plans its output as independent
+// chunks: Plan decides the chunk boundaries for a scale, GenerateChunk
+// renders one chunk to bytes from an RNG the driver derives from the corpus
+// seed and the chunk index. Implementations must keep GenerateChunk free of
+// shared mutable state so chunks can run concurrently.
+type Chunked interface {
+	// Name identifies the generator family in the registry and the CLI.
+	Name() string
+	// Plan splits the corpus at the given scale into independent chunks.
+	Plan(scale int) []Chunk
+	// GenerateChunk renders chunk c of the corpus at the given scale.
+	GenerateChunk(g *stats.RNG, scale int, c Chunk) ([]byte, error)
+}
+
+// Stat reports one Build's shape and timing — the generation-cost evidence
+// the paper says a benchmark must account for.
+type Stat struct {
+	Generator string        `json:"generator"`
+	Scale     int           `json:"scale"`
+	Seed      uint64        `json:"seed"`
+	Workers   int           `json:"workers"`
+	Chunks    int           `json:"chunks"`
+	Items     int64         `json:"items"`
+	Bytes     int64         `json:"bytes"`
+	Elapsed   time.Duration `json:"elapsed"`
+	// Digest is the SHA-256 of the assembled corpus. Equal digests across
+	// worker counts are the determinism contract made visible.
+	Digest string `json:"digest"`
+}
+
+// ItemsPerSec returns the achieved generation rate in items/second.
+func (s Stat) ItemsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Items) / s.Elapsed.Seconds()
+}
+
+// MBPerSec returns the achieved generation rate in megabytes/second.
+func (s Stat) MBPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / 1e6 / s.Elapsed.Seconds()
+}
+
+// Build runs a Chunked generator's full plan on the worker pool (one worker
+// per CPU when workers <= 0) and returns the assembled corpus with its
+// Stat. The corpus bytes and digest depend only on (generator, seed, scale).
+// Callers that only need the Stat should use BuildStat, which skips the
+// corpus assembly copy.
+func Build(cg Chunked, seed uint64, scale, workers int) ([]byte, Stat, error) {
+	parts, stat, err := buildParts(cg, seed, scale, workers)
+	if err != nil {
+		return nil, stat, err
+	}
+	return bytes.Join(parts, nil), stat, nil
+}
+
+// BuildStat is Build without materializing the assembled corpus: the chunk
+// parts are hashed and counted in plan order and then dropped, halving
+// peak memory for stat-only callers (the CLI, bdbench.DataGen).
+func BuildStat(cg Chunked, seed uint64, scale, workers int) (Stat, error) {
+	_, stat, err := buildParts(cg, seed, scale, workers)
+	return stat, err
+}
+
+// buildParts runs the plan and returns the per-chunk outputs along with
+// the completed Stat (digest and byte count are computed by streaming over
+// the parts in plan order, so they match the joined corpus exactly).
+func buildParts(cg Chunked, seed uint64, scale, workers int) ([][]byte, Stat, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	plan := cg.Plan(scale)
+	var items int64
+	for _, c := range plan {
+		items += c.Len()
+	}
+	t0 := time.Now()
+	parts, err := Generate(seed, plan, workers, func(g *stats.RNG, c Chunk) ([][]byte, error) {
+		b, err := cg.GenerateChunk(g, scale, c)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{b}, nil
+	})
+	stat := Stat{
+		Generator: cg.Name(),
+		Scale:     scale,
+		Seed:      seed,
+		Workers:   workers,
+		Chunks:    len(plan),
+		Items:     items,
+	}
+	if err != nil {
+		return nil, stat, err
+	}
+	h := sha256.New()
+	var size int64
+	for _, p := range parts {
+		_, _ = h.Write(p)
+		size += int64(len(p))
+	}
+	stat.Elapsed = time.Since(t0)
+	stat.Bytes = size
+	stat.Digest = hex.EncodeToString(h.Sum(nil))
+	return parts, stat, nil
+}
+
+// The registry of named corpus generators, populated by the corpora
+// package's built-ins and open to callers registering their own.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Chunked{}
+)
+
+// Register adds a generator family under its Name, replacing any previous
+// registration of that name.
+func Register(cg Chunked) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[cg.Name()] = cg
+}
+
+// Lookup returns the named generator family.
+func Lookup(name string) (Chunked, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	cg, ok := registry[name]
+	return cg, ok
+}
+
+// Generators returns the registered generator names, sorted.
+func Generators() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

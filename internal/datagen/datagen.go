@@ -20,7 +20,10 @@ import (
 // Parallel runs chunks of work across workers goroutines, giving each chunk
 // a child RNG derived from (seed, chunk index). The derivation — not the
 // scheduling — determines the random stream, so output is identical for any
-// worker count. The first error aborts the run (remaining chunks may still
+// worker count. The pool mirrors the execution engine's semantics: a bounded
+// set of workers draining a job channel, with panics isolated into errors so
+// one bad chunk fails the generation cleanly instead of crashing the
+// process. The first error aborts the run (remaining chunks may still
 // execute but their results should be discarded by the caller).
 func Parallel(seed uint64, chunks, workers int, fn func(chunk int, g *stats.RNG) error) error {
 	if chunks <= 0 {
@@ -44,7 +47,7 @@ func Parallel(seed uint64, chunks, workers int, fn func(chunk int, g *stats.RNG)
 		go func() {
 			defer wg.Done()
 			for c := range next {
-				if err := fn(c, base.Split("chunk", c)); err != nil {
+				if err := runChunk(c, base.Split("chunk", c), fn); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("datagen: chunk %d: %w", c, err)
@@ -60,6 +63,17 @@ func Parallel(seed uint64, chunks, workers int, fn func(chunk int, g *stats.RNG)
 	close(next)
 	wg.Wait()
 	return firstErr
+}
+
+// runChunk executes one chunk, converting a panic into an error so the pool
+// keeps draining and the caller sees a failed generation, not a crash.
+func runChunk(chunk int, g *stats.RNG, fn func(chunk int, g *stats.RNG) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn(chunk, g)
 }
 
 // TokenBucket is a classic token-bucket rate limiter used to pace data

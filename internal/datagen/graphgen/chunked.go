@@ -1,0 +1,129 @@
+package graphgen
+
+import (
+	"fmt"
+
+	"github.com/bdbench/bdbench/internal/datagen"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// chunkEdges is the edge count per generation chunk.
+const chunkEdges = 1 << 16
+
+// ParallelGenerator is implemented by the generator families whose edges
+// are independent samples and can therefore be produced as chunks: RMAT and
+// ErdosRenyi. BarabasiAlbert is inherently sequential — every new edge's
+// distribution depends on all previous edges (preferential attachment) — so
+// it stays on the single-RNG path.
+type ParallelGenerator interface {
+	Generator
+	// GenerateParallel emits a graph with about 2^scale vertices across a
+	// bounded worker pool; the edge list is identical at any worker count.
+	GenerateParallel(seed uint64, scale, workers int) *Graph
+}
+
+// GenerateParallel implements ParallelGenerator: the recursive-matrix draw
+// of every edge is independent, so edges chunk freely.
+func (r RMAT) GenerateParallel(seed uint64, scale, workers int) *Graph {
+	if scale < 1 {
+		scale = 1
+	}
+	ef := r.EdgeFactor
+	if ef <= 0 {
+		ef = 16
+	}
+	n := int64(1) << uint(scale)
+	edges, err := datagen.Generate(seed, datagen.PlanChunks(n*int64(ef), chunkEdges), workers,
+		func(g *stats.RNG, c datagen.Chunk) ([]Edge, error) {
+			out := make([]Edge, 0, c.Len())
+			for i := c.Start; i < c.End; i++ {
+				out = append(out, r.edge(g, scale))
+			}
+			return out, nil
+		})
+	if err != nil {
+		// Edge sampling cannot fail by construction.
+		panic(err)
+	}
+	return &Graph{N: n, Edges: edges}
+}
+
+// GenerateParallel implements ParallelGenerator: G(n, m) edges are uniform
+// independent samples.
+func (e ErdosRenyi) GenerateParallel(seed uint64, scale, workers int) *Graph {
+	if scale < 1 {
+		scale = 1
+	}
+	ef := e.EdgeFactor
+	if ef <= 0 {
+		ef = 16
+	}
+	n := int64(1) << uint(scale)
+	edges, err := datagen.Generate(seed, datagen.PlanChunks(n*int64(ef), chunkEdges), workers,
+		func(g *stats.RNG, c datagen.Chunk) ([]Edge, error) {
+			out := make([]Edge, 0, c.Len())
+			for i := c.Start; i < c.End; i++ {
+				out = append(out, Edge{Src: g.Int64N(n), Dst: g.Int64N(n)})
+			}
+			return out, nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	return &Graph{N: n, Edges: edges}
+}
+
+// GraphCorpus adapts RMAT to the datagen.Chunked corpus contract: a graph
+// of 2^(scale+ScaleOffset) vertices rendered as one "src<TAB>dst" line per
+// edge.
+type GraphCorpus struct {
+	// RMAT shapes the graph (default DefaultRMAT).
+	RMAT *RMAT
+	// ScaleOffset maps the corpus scale knob to the RMAT vertex scale
+	// (default 10: scale 1 is 2^11 vertices).
+	ScaleOffset int
+}
+
+// Name implements datagen.Chunked.
+func (gc GraphCorpus) Name() string { return "graph" }
+
+func (gc GraphCorpus) rmat() RMAT {
+	if gc.RMAT != nil {
+		return *gc.RMAT
+	}
+	return DefaultRMAT
+}
+
+func (gc GraphCorpus) vertexScale(scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	offset := gc.ScaleOffset
+	if offset <= 0 {
+		offset = 10
+	}
+	return scale + offset
+}
+
+// Plan implements datagen.Chunked.
+func (gc GraphCorpus) Plan(scale int) []datagen.Chunk {
+	r := gc.rmat()
+	ef := r.EdgeFactor
+	if ef <= 0 {
+		ef = 16
+	}
+	n := int64(1) << uint(gc.vertexScale(scale))
+	return datagen.PlanChunks(n*int64(ef), chunkEdges)
+}
+
+// GenerateChunk implements datagen.Chunked.
+func (gc GraphCorpus) GenerateChunk(g *stats.RNG, scale int, c datagen.Chunk) ([]byte, error) {
+	r := gc.rmat()
+	vs := gc.vertexScale(scale)
+	var out []byte
+	for i := c.Start; i < c.End; i++ {
+		e := r.edge(g, vs)
+		out = fmt.Appendf(out, "%d\t%d\n", e.Src, e.Dst)
+	}
+	return out, nil
+}

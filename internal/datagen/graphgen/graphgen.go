@@ -167,24 +167,30 @@ func (r RMAT) Generate(g *stats.RNG, scale int) *Graph {
 	m := n * int64(ef)
 	edges := make([]Edge, 0, m)
 	for i := int64(0); i < m; i++ {
-		var src, dst int64
-		for level := scale - 1; level >= 0; level-- {
-			u := g.Float64()
-			switch {
-			case u < r.A:
-				// top-left: no bits set
-			case u < r.A+r.B:
-				dst |= 1 << uint(level)
-			case u < r.A+r.B+r.C:
-				src |= 1 << uint(level)
-			default:
-				src |= 1 << uint(level)
-				dst |= 1 << uint(level)
-			}
-		}
-		edges = append(edges, Edge{Src: src, Dst: dst})
+		edges = append(edges, r.edge(g, scale))
 	}
 	return &Graph{N: n, Edges: edges}
+}
+
+// edge draws one recursive-matrix edge: every edge is an independent
+// sample, which is what makes RMAT chunkable.
+func (r RMAT) edge(g *stats.RNG, scale int) Edge {
+	var src, dst int64
+	for level := scale - 1; level >= 0; level-- {
+		u := g.Float64()
+		switch {
+		case u < r.A:
+			// top-left: no bits set
+		case u < r.A+r.B:
+			dst |= 1 << uint(level)
+		case u < r.A+r.B+r.C:
+			src |= 1 << uint(level)
+		default:
+			src |= 1 << uint(level)
+			dst |= 1 << uint(level)
+		}
+	}
+	return Edge{Src: src, Dst: dst}
 }
 
 // MemoryMode selects the §5.1 speed/memory trade-off of BarabasiAlbert.

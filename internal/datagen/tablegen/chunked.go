@@ -1,0 +1,75 @@
+package tablegen
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/bdbench/bdbench/internal/data"
+	"github.com/bdbench/bdbench/internal/datagen"
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+// ReferenceTableParallel generates the hidden reference table through the
+// chunked worker pool: same spec as ReferenceTable, rows identical at any
+// worker count (chunk RNGs derive from (seed, chunk index), and primary
+// keys from absolute row numbers).
+func ReferenceTableParallel(seed uint64, rows int64, workers int) *data.Table {
+	return ReferenceSpec(seed).GenerateParallel(rows, workers)
+}
+
+// TableCorpus adapts a TableSpec to the datagen.Chunked corpus contract:
+// scale*RowsPerScale rows rendered as one tab-separated line each. The
+// corpus seed passed to the driver governs chunk RNGs; Spec.Seed is unused
+// on this path.
+type TableCorpus struct {
+	// Spec shapes the rows (default: the reference orders table).
+	Spec *TableSpec
+	// RowsPerScale is the row count per scale unit (default 2000).
+	RowsPerScale int64
+}
+
+// Name implements datagen.Chunked.
+func (tc TableCorpus) Name() string { return "table" }
+
+// defaultCorpusSpec is built once: GenerateChunk runs per chunk, and
+// rebuilding the column generators there would be redundant allocation on
+// the parallel hot path.
+var defaultCorpusSpec = sync.OnceValue(func() TableSpec { return ReferenceSpec(0) })
+
+func (tc TableCorpus) spec() TableSpec {
+	if tc.Spec != nil {
+		return *tc.Spec
+	}
+	return defaultCorpusSpec()
+}
+
+func (tc TableCorpus) rowsPerScale() int64 {
+	if tc.RowsPerScale <= 0 {
+		return 2000
+	}
+	return tc.RowsPerScale
+}
+
+// Plan implements datagen.Chunked.
+func (tc TableCorpus) Plan(scale int) []datagen.Chunk {
+	if scale < 1 {
+		scale = 1
+	}
+	return datagen.PlanChunks(int64(scale)*tc.rowsPerScale(), tc.spec().chunkSize())
+}
+
+// GenerateChunk implements datagen.Chunked.
+func (tc TableCorpus) GenerateChunk(g *stats.RNG, _ int, c datagen.Chunk) ([]byte, error) {
+	spec := tc.spec()
+	var sb strings.Builder
+	for r := c.Start; r < c.End; r++ {
+		for i, v := range spec.genRow(g, r) {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), nil
+}

@@ -16,7 +16,6 @@ package tablegen
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/bdbench/bdbench/internal/data"
 	"github.com/bdbench/bdbench/internal/datagen"
@@ -269,32 +268,19 @@ func (s TableSpec) generate(rows int64, workers int) *data.Table {
 	if rows <= 0 {
 		return t
 	}
-	size := s.chunkSize()
-	chunks := int((rows + size - 1) / size)
-	results := make([][]data.Row, chunks)
-	var mu sync.Mutex
-	err := datagen.Parallel(s.Seed, chunks, workers, func(chunk int, g *stats.RNG) error {
-		start := int64(chunk) * size
-		end := start + size
-		if end > rows {
-			end = rows
-		}
-		part := make([]data.Row, 0, end-start)
-		for r := start; r < end; r++ {
-			part = append(part, s.genRow(g, r))
-		}
-		mu.Lock()
-		results[chunk] = part
-		mu.Unlock()
-		return nil
-	})
+	out, err := datagen.Generate(s.Seed, datagen.PlanChunks(rows, s.chunkSize()), workers,
+		func(g *stats.RNG, c datagen.Chunk) ([]data.Row, error) {
+			part := make([]data.Row, 0, c.Len())
+			for r := c.Start; r < c.End; r++ {
+				part = append(part, s.genRow(g, r))
+			}
+			return part, nil
+		})
 	if err != nil {
-		// Column generators cannot fail; Parallel errors are impossible
-		// here by construction.
+		// Built-in column generators cannot fail; a panicking custom
+		// generator surfaces here as the chunk's recovered error.
 		panic(err)
 	}
-	for _, part := range results {
-		t.Rows = append(t.Rows, part...)
-	}
+	t.Rows = out
 	return t
 }

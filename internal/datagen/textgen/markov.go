@@ -7,6 +7,10 @@ import (
 	"github.com/bdbench/bdbench/internal/stats"
 )
 
+// errNotTrainedMarkov is returned by Generate and GenerateParallel before
+// Train.
+var errNotTrainedMarkov = errors.New("textgen: Markov model is not trained")
+
 // Markov is an order-k word-level Markov chain text model: a middle point on
 // the veracity spectrum between pure random text and a full topic model. It
 // preserves local word co-occurrence (n-gram structure) but not global
@@ -18,6 +22,10 @@ type Markov struct {
 	starts      *stats.FreqTable
 	trained     bool
 
+	// aliasCache holds one alias sampler per state. It is built eagerly at
+	// the end of Train — the transition tables are frozen then — and
+	// read-only afterwards, so concurrent chunk generation
+	// (GenerateParallel) samples without any locking.
 	aliasCache map[string]aliasEntry
 }
 
@@ -40,6 +48,9 @@ func NewMarkov(order int) *Markov {
 }
 
 const stateSep = "\x1f"
+
+// startState keys the document-start sampler in the alias cache.
+const startState = "\x00start"
 
 // Train counts transition frequencies over the corpus.
 func (m *Markov) Train(corpus Corpus) error {
@@ -70,6 +81,11 @@ func (m *Markov) Train(corpus Corpus) error {
 	if m.starts.Total() == 0 {
 		return errors.New("textgen: corpus documents shorter than Markov order")
 	}
+	// Freeze the samplers now so Generate never mutates shared state.
+	m.buildSampler(startState, m.starts)
+	for state, ft := range m.transitions {
+		m.buildSampler(state, ft)
+	}
 	m.trained = true
 	return nil
 }
@@ -80,19 +96,26 @@ func (m *Markov) Trained() bool { return m.trained }
 // States returns the number of distinct states observed during training.
 func (m *Markov) States() int { return len(m.transitions) }
 
+// buildSampler constructs and caches the alias sampler for one state;
+// called only from Train, before the cache goes read-only.
+func (m *Markov) buildSampler(state string, ft *stats.FreqTable) {
+	m.aliasCache[state] = m.sampler(state, ft)
+}
+
+// sampler returns the frozen alias sampler for a state.
 func (m *Markov) sampler(state string, ft *stats.FreqTable) aliasEntry {
 	if e, ok := m.aliasCache[state]; ok {
 		return e
 	}
+	// Unreachable after Train (every sampled state is prebuilt); build an
+	// uncached one-off rather than mutate the read-only cache.
 	words := make([]string, 0, len(ft.Counts))
 	weights := make([]float64, 0, len(ft.Counts))
 	for _, w := range ft.TopK(len(ft.Counts)) {
 		words = append(words, w)
 		weights = append(weights, float64(ft.Counts[w]))
 	}
-	e := aliasEntry{words: words, alias: stats.NewAlias(weights)}
-	m.aliasCache[state] = e
-	return e
+	return aliasEntry{words: words, alias: stats.NewAlias(weights)}
 }
 
 // Generate samples docs documents with lengths from Poisson(meanLen). When
@@ -100,10 +123,10 @@ func (m *Markov) sampler(state string, ft *stats.FreqTable) aliasEntry {
 // start state, mirroring document boundaries in training data.
 func (m *Markov) Generate(g *stats.RNG, docs, meanLen int) (Corpus, error) {
 	if !m.trained {
-		return nil, errors.New("textgen: Markov model is not trained")
+		return nil, errNotTrainedMarkov
 	}
 	lenDist := stats.Poisson{Lambda: float64(meanLen)}
-	startEntry := m.sampler("\x00start", m.starts)
+	startEntry := m.sampler(startState, m.starts)
 	out := make(Corpus, 0, docs)
 	for d := 0; d < docs; d++ {
 		n := int(lenDist.Sample(g))

@@ -104,14 +104,36 @@ var agents = []string{
 // FromTable generates n log records from the orders table (expects
 // customer_id and product_id columns, as in tablegen.ReferenceTable).
 func (gen Generator) FromTable(g *stats.RNG, orders *data.Table, n int) ([]Record, error) {
-	custIdx := orders.Schema.ColIndex("customer_id")
-	prodIdx := orders.Schema.ColIndex("product_id")
+	custIdx, prodIdx, err := gen.tableIndexes(orders)
+	if err != nil {
+		return nil, err
+	}
+	return gen.sessions(g, orders, custIdx, prodIdx, n, gen.start()), nil
+}
+
+// tableIndexes validates the orders table and returns the column indexes
+// the click sessions derive from.
+func (gen Generator) tableIndexes(orders *data.Table) (custIdx, prodIdx int, err error) {
+	custIdx = orders.Schema.ColIndex("customer_id")
+	prodIdx = orders.Schema.ColIndex("product_id")
 	if custIdx < 0 || prodIdx < 0 {
-		return nil, fmt.Errorf("weblog: table %q lacks customer_id/product_id", orders.Schema.Name)
+		return 0, 0, fmt.Errorf("weblog: table %q lacks customer_id/product_id", orders.Schema.Name)
 	}
 	if orders.NumRows() == 0 {
-		return nil, fmt.Errorf("weblog: empty orders table")
+		return 0, 0, fmt.Errorf("weblog: empty orders table")
 	}
+	return custIdx, prodIdx, nil
+}
+
+func (gen Generator) start() time.Time {
+	if gen.Start.IsZero() {
+		return time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return gen.Start
+}
+
+// sessions emits n click-session records starting at the virtual time at.
+func (gen Generator) sessions(g *stats.RNG, orders *data.Table, custIdx, prodIdx, n int, at time.Time) []Record {
 	sessionLen := gen.SessionLen
 	if sessionLen <= 0 {
 		sessionLen = 8
@@ -120,12 +142,7 @@ func (gen Generator) FromTable(g *stats.RNG, orders *data.Table, n int) ([]Recor
 	if errRate <= 0 {
 		errRate = 0.02
 	}
-	start := gen.Start
-	if start.IsZero() {
-		start = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
-	}
 	out := make([]Record, 0, n)
-	at := start
 	for len(out) < n {
 		// Pick a random order row; its customer anchors the session.
 		row := orders.Rows[g.IntN(orders.NumRows())]
@@ -168,7 +185,7 @@ func (gen Generator) FromTable(g *stats.RNG, orders *data.Table, n int) ([]Recor
 			at = at.Add(time.Duration(g.IntN(5000)) * time.Millisecond)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // FormatAll renders records as a newline-joined log file body.

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestDatagenWorkersDefaultedInNormalized(t *testing.T) {
+	n := Spec{Entries: []Entry{{Workload: "wordcount"}}}.Normalized()
+	if n.DatagenWorkers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DatagenWorkers = %d, want one per CPU (%d)", n.DatagenWorkers, runtime.GOMAXPROCS(0))
+	}
+	n = Spec{DatagenWorkers: 3}.Normalized()
+	if n.DatagenWorkers != 3 {
+		t.Fatalf("explicit DatagenWorkers rewritten to %d", n.DatagenWorkers)
+	}
+}
+
+func TestDatagenWorkersValidated(t *testing.T) {
+	s := Spec{Entries: []Entry{{Workload: "wordcount"}}, DatagenWorkers: -1}
+	err := s.Validate(nil)
+	if err == nil || !strings.Contains(err.Error(), "negative run settings") {
+		t.Fatalf("want negative-settings error, got %v", err)
+	}
+}
+
+func TestDatagenWorkersThreadedIntoParams(t *testing.T) {
+	s := Spec{Entries: []Entry{{Workload: "wordcount"}}, DatagenWorkers: 2}
+	tasks, err := s.Tasks(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].Params.DatagenWorkers != 2 {
+		t.Fatalf("Params.DatagenWorkers not threaded: %+v", tasks)
+	}
+}
+
+func TestDatagenWorkersJSONRoundTrip(t *testing.T) {
+	s := Spec{Entries: []Entry{{Workload: "grep"}}, DatagenWorkers: 5}
+	raw, err := s.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"datagenWorkers": 5`) {
+		t.Fatalf("spec JSON lacks datagenWorkers: %s", raw)
+	}
+	back, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DatagenWorkers != 5 {
+		t.Fatalf("round-trip lost DatagenWorkers: %+v", back)
+	}
+}

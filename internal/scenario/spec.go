@@ -125,6 +125,11 @@ type Spec struct {
 	// Workers is the parallelism of the simulated stack inside each
 	// workload (default 4).
 	Workers int `json:"workers,omitempty"`
+	// DatagenWorkers bounds the chunk-parallel data-generation pipeline
+	// preparing each workload's input (default: one per CPU). Generated
+	// bytes are identical at any setting — chunk RNGs derive from (seed,
+	// chunk index) — so it is a pure speed knob.
+	DatagenWorkers int `json:"datagenWorkers,omitempty"`
 	// Seed makes workload outputs deterministic (default 0).
 	Seed uint64 `json:"seed,omitempty"`
 
@@ -155,7 +160,10 @@ type Spec struct {
 	Timeout Duration `json:"timeout,omitempty"`
 
 	// Energy and Cost annotate results with §3.1's non-performance metrics;
-	// zero models disable them.
+	// zero models disable them. The omitzero option is a Go 1.24
+	// refinement: on Go 1.23 (the module's minimum) it is ignored and zero
+	// models serialize as explicit zero-valued objects — cosmetically
+	// noisier, parsed and validated identically.
 	Energy metrics.EnergyModel `json:"energy,omitzero"`
 	Cost   metrics.CostModel   `json:"cost,omitzero"`
 }
@@ -188,6 +196,9 @@ func (s Spec) Normalized() Spec {
 	}
 	if s.Workers == 0 {
 		s.Workers = 4
+	}
+	if s.DatagenWorkers == 0 {
+		s.DatagenWorkers = runtime.GOMAXPROCS(0)
 	}
 	if s.Parallel == 0 {
 		s.Parallel = runtime.GOMAXPROCS(0)
@@ -227,8 +238,8 @@ func (s Spec) openLoop() bool {
 // String summarizes the normalized run settings.
 func (s Spec) String() string {
 	n := s.Normalized()
-	desc := fmt.Sprintf("scenario %q: %d entries, scale=%d workers=%d seed=%d parallel=%d reps=%d warmup=%d timeout=%v",
-		n.Name, len(n.Entries), n.Scale, n.Workers, n.Seed, n.Parallel, n.Reps, n.Warmup, time.Duration(n.Timeout))
+	desc := fmt.Sprintf("scenario %q: %d entries, scale=%d workers=%d datagen=%d seed=%d parallel=%d reps=%d warmup=%d timeout=%v",
+		n.Name, len(n.Entries), n.Scale, n.Workers, n.DatagenWorkers, n.Seed, n.Parallel, n.Reps, n.Warmup, time.Duration(n.Timeout))
 	if n.openLoop() {
 		desc += fmt.Sprintf(" rate=%g arrival=%s duration=%v", n.Rate, n.Arrival, time.Duration(n.Duration))
 	}
@@ -294,7 +305,7 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 		reg = Default()
 	}
 	n := s.Normalized()
-	if n.Scale < 0 || n.Workers < 0 || n.Parallel < 0 || n.Reps < 0 || n.Warmup < 0 || n.Timeout < 0 {
+	if n.Scale < 0 || n.Workers < 0 || n.DatagenWorkers < 0 || n.Parallel < 0 || n.Reps < 0 || n.Warmup < 0 || n.Timeout < 0 {
 		return nil, fmt.Errorf("scenario: negative run settings in %s", n)
 	}
 	if n.Rate < 0 || n.Duration < 0 {
@@ -335,7 +346,7 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 		if len(resolved) == 0 {
 			return nil, fmt.Errorf("scenario: entry %d (%s): selects no workloads", i, e.describe())
 		}
-		params := workloads.Params{Seed: n.Seed, Scale: n.Scale, Workers: n.Workers}
+		params := workloads.Params{Seed: n.Seed, Scale: n.Scale, Workers: n.Workers, DatagenWorkers: n.DatagenWorkers}
 		if e.Scale > 0 {
 			params.Scale = e.Scale
 		}

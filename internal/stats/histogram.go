@@ -299,6 +299,11 @@ func (l *LatencyHistogram) Observe(d time.Duration) {
 // Count returns the number of recorded durations.
 func (l *LatencyHistogram) Count() uint64 { return l.total }
 
+// Sum returns the total of all recorded durations (exact, not
+// bucket-approximated) — the basis of wall-time accounting such as the
+// data-generation metric family.
+func (l *LatencyHistogram) Sum() time.Duration { return l.sum }
+
 // Mean returns the mean recorded duration.
 func (l *LatencyHistogram) Mean() time.Duration {
 	if l.total == 0 {

@@ -1,0 +1,270 @@
+// Command benchdiff is the CI benchmark-regression gate: it parses `go test
+// -bench` output, records every benchmark's ns/op as a results JSON (the
+// artifact that seeds the performance trajectory), and compares the gated
+// subset — datagen, loadgen and collector benches by default — against a
+// checked-in baseline, failing on a >25% geomean regression.
+//
+//	go test -run '^$' -bench . ./... | go run ./internal/tools/benchdiff \
+//	    -baseline testdata/bench.baseline.json -out bench.results.json
+//
+// Regenerate the baseline after an intentional performance change:
+//
+//	go test -run '^$' -bench . ./... | go run ./internal/tools/benchdiff \
+//	    -update -baseline testdata/bench.baseline.json
+//
+// Absolute ns/op differ across machines, so the gate calibrates: the
+// geomean ratio of the non-gated benches estimates the machine-speed factor
+// between baseline and current run, and the gated geomean is judged
+// relative to it. Disable with -calibrate=false when baseline and run come
+// from the same machine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Results is the JSON shape of both the checked-in baseline and the
+// uploaded artifact.
+type Results struct {
+	// Note documents how the numbers were produced.
+	Note string `json:"note,omitempty"`
+	// Go is the toolchain that ran the benches.
+	Go string `json:"go,omitempty"`
+	// Benchmarks maps bench name (CPU suffix stripped) to ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line:
+// "BenchmarkName/sub-8   	  123	  4567 ns/op	...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// cpuSuffix matches a candidate GOMAXPROCS suffix at the end of a name.
+var cpuSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// parseBench extracts benchmark name → ns/op from -bench output. The
+// GOMAXPROCS suffix is stripped so results compare across machines — but
+// only when every name of the run carries the same one: go test appends
+// "-N" to every benchmark (and nothing at GOMAXPROCS=1), so a uniform
+// trailing "-N" is the suffix, while a varying one (sub-benchmarks like
+// "writers-1"/"writers-2") is part of the name. Duplicate names (the same
+// bench in several packages or -count runs) keep the best (lowest) time.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	type entry struct {
+		name string
+		ns   float64
+	}
+	var entries []entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		entries = append(entries, entry{name: m[1], ns: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	suffix := ""
+	for i, e := range entries {
+		m := cpuSuffix.FindString(e.name)
+		if m == "" || (i > 0 && m != suffix) {
+			suffix = ""
+			break
+		}
+		suffix = m
+	}
+	out := map[string]float64{}
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.name, suffix)
+		if old, ok := out[name]; !ok || e.ns < old {
+			out[name] = e.ns
+		}
+	}
+	return out, nil
+}
+
+// matchesAny reports whether the bench name contains any filter substring
+// (case-insensitive).
+func matchesAny(name string, filters []string) bool {
+	lower := strings.ToLower(name)
+	for _, f := range filters {
+		if f != "" && strings.Contains(lower, strings.ToLower(f)) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedNames returns the map's keys in sorted order.
+func sortedNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// geomean returns the geometric mean of ratios (1 when empty).
+func geomean(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		sum += math.Log(r)
+	}
+	return math.Exp(sum / float64(len(ratios)))
+}
+
+// diff is the comparison outcome for one gated benchmark.
+type diff struct {
+	name     string
+	old, new float64
+}
+
+// compare judges the gated benches of cur against base. It returns the
+// gated per-bench diffs, the gated geomean ratio (calibrated when asked and
+// possible) and the machine-speed factor used.
+func compare(base, cur map[string]float64, filters []string, calibrate bool) (gated []diff, gatedGeo, factor float64) {
+	var gatedRatios, otherRatios []float64
+	for _, name := range sortedNames(cur) {
+		old, ok := base[name]
+		if !ok || old <= 0 {
+			continue
+		}
+		ratio := cur[name] / old
+		if matchesAny(name, filters) {
+			gated = append(gated, diff{name: name, old: old, new: cur[name]})
+			gatedRatios = append(gatedRatios, ratio)
+		} else {
+			otherRatios = append(otherRatios, ratio)
+		}
+	}
+	factor = 1.0
+	if calibrate && len(otherRatios) > 0 {
+		factor = geomean(otherRatios)
+	}
+	return gated, geomean(gatedRatios) / factor, factor
+}
+
+func run() error {
+	in := flag.String("in", "-", "bench output to read (- = stdin)")
+	baselinePath := flag.String("baseline", "testdata/bench.baseline.json", "checked-in baseline JSON")
+	outPath := flag.String("out", "", "write the full parsed results JSON here (the CI artifact)")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	threshold := flag.Float64("threshold", 1.25, "fail when the gated geomean ratio exceeds this")
+	filter := flag.String("filter", "Datagen,Collector,Schedule,Dispatch",
+		"comma-separated substrings selecting the gated benches")
+	calibrate := flag.Bool("calibrate", true,
+		"normalize by the non-gated benches' geomean (machine-speed factor)")
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	cur, err := parseBench(src)
+	if err != nil {
+		return err
+	}
+	results := Results{
+		Note:       "ns/op per benchmark (CPU suffix stripped); produced by internal/tools/benchdiff",
+		Go:         runtime.Version(),
+		Benchmarks: cur,
+	}
+	writeJSON := func(path string) error {
+		raw, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(raw, '\n'), 0o644)
+	}
+	if *outPath != "" {
+		if err := writeJSON(*outPath); err != nil {
+			return err
+		}
+		fmt.Printf("benchdiff: wrote %d benches to %s\n", len(cur), *outPath)
+	}
+	if *update {
+		if err := writeJSON(*baselinePath); err != nil {
+			return err
+		}
+		fmt.Printf("benchdiff: baseline %s updated (%d benches)\n", *baselinePath, len(cur))
+		return nil
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run with -update to create it): %w", err)
+	}
+	var base Results
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", *baselinePath, err)
+	}
+	filters := strings.Split(*filter, ",")
+	gated, gatedGeo, factor := compare(base.Benchmarks, cur, filters, *calibrate)
+	if len(gated) == 0 {
+		return fmt.Errorf("no gated benches matched both baseline and input (filter %q)", *filter)
+	}
+	// A gated bench present on only one side silently leaves the gate;
+	// surface both directions so renames, removals and benches added
+	// without -update don't pass unseen.
+	for _, name := range sortedNames(base.Benchmarks) {
+		if matchesAny(name, filters) {
+			if _, ok := cur[name]; !ok {
+				fmt.Printf("benchdiff: WARNING: gated baseline bench %q missing from input (renamed or removed?)\n", name)
+			}
+		}
+	}
+	for _, name := range sortedNames(cur) {
+		if matchesAny(name, filters) {
+			if _, ok := base.Benchmarks[name]; !ok {
+				fmt.Printf("benchdiff: WARNING: gated bench %q not in baseline (run -update to start gating it)\n", name)
+			}
+		}
+	}
+	fmt.Printf("%-60s %14s %14s %8s\n", "gated benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, d := range gated {
+		fmt.Printf("%-60s %14.0f %14.0f %8.2f\n", d.name, d.old, d.new, d.new/d.old)
+	}
+	fmt.Printf("\nmachine-speed factor (non-gated geomean): %.3f\n", factor)
+	fmt.Printf("gated geomean ratio (calibrated): %.3f (threshold %.2f)\n", gatedGeo, *threshold)
+	if gatedGeo > *threshold {
+		return fmt.Errorf("gated benches regressed: geomean ratio %.3f > %.2f", gatedGeo, *threshold)
+	}
+	fmt.Println("benchdiff: gate passed")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

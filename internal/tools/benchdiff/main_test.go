@@ -1,0 +1,150 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/bdbench/bdbench/internal/datagen/corpora
+cpu: Intel(R) Xeon(R)
+BenchmarkDatagenParallel/text/workers=1-8         	      97	   2356793 ns/op	 133.64 MB/s
+BenchmarkDatagenParallel/text/workers=4-8         	     100	   1055117 ns/op	 233.74 MB/s
+BenchmarkSchedule/constant-8                      	    5000	    240000 ns/op
+BenchmarkCollectorParallel/sharded-8              	   10000	    120000 ns/op
+BenchmarkMapReduceWordCount-8                     	     100	  10000000 ns/op
+PASS
+ok  	github.com/bdbench/bdbench	1.5s
+`
+
+func TestParseBenchStripsCPUSuffix(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("parsed %d benches, want 5: %v", len(got), got)
+	}
+	if got["BenchmarkDatagenParallel/text/workers=1"] != 2356793 {
+		t.Fatalf("bad ns/op: %v", got)
+	}
+	if _, ok := got["BenchmarkSchedule/constant-8"]; ok {
+		t.Fatal("CPU suffix not stripped")
+	}
+}
+
+func TestParseBenchKeepsBestOfDuplicates(t *testing.T) {
+	in := "BenchmarkX-8 10 2000 ns/op\nBenchmarkX-8 10 1000 ns/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 1000 {
+		t.Fatalf("want best time 1000, got %v", got["BenchmarkX"])
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("no benches here\n")); err == nil {
+		t.Fatal("want error for bench-free input")
+	}
+}
+
+// TestParseBenchPreservesSubBenchSuffixesAtGOMAXPROCS1 covers the
+// GOMAXPROCS=1 output shape: no CPU suffix is appended, so a trailing
+// "-1"/"-2" is part of the sub-benchmark's own name and must survive.
+func TestParseBenchPreservesSubBenchSuffixesAtGOMAXPROCS1(t *testing.T) {
+	in := `BenchmarkCollectorShardScaling/writers-1 	 100 	 41746 ns/op
+BenchmarkCollectorShardScaling/writers-2 	 100 	 31322 ns/op
+BenchmarkMapReduceWordCount 	 10 	 10000000 ns/op
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkCollectorShardScaling/writers-1",
+		"BenchmarkCollectorShardScaling/writers-2",
+		"BenchmarkMapReduceWordCount",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Fatalf("missing %q (got %v)", want, got)
+		}
+	}
+}
+
+// TestParseBenchStripsUniformSuffixOnly: with a real CPU suffix every name
+// of the run ends in the same "-N"; names like "writers-1-4" must strip to
+// "writers-1", not "writers".
+func TestParseBenchStripsUniformSuffixOnly(t *testing.T) {
+	in := `BenchmarkCollectorShardScaling/writers-1-4 	 100 	 41746 ns/op
+BenchmarkCollectorShardScaling/writers-2-4 	 100 	 31322 ns/op
+BenchmarkMapReduceWordCount-4 	 10 	 10000000 ns/op
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkCollectorShardScaling/writers-1"]; !ok {
+		t.Fatalf("uniform -4 suffix not stripped correctly: %v", got)
+	}
+	if _, ok := got["BenchmarkMapReduceWordCount"]; !ok {
+		t.Fatalf("uniform -4 suffix not stripped from plain name: %v", got)
+	}
+}
+
+func TestCompareGatesOnGeomeanWithCalibration(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkDatagenParallel/text": 1000,
+		"BenchmarkSchedule/constant":    1000,
+		"BenchmarkMapReduceWordCount":   1000,
+		"BenchmarkGraphPageRank":        1000,
+	}
+	// The machine is uniformly 2x slower; datagen benches additionally
+	// regressed 1.5x. Calibration must surface only the 1.5x.
+	cur := map[string]float64{
+		"BenchmarkDatagenParallel/text": 3000,
+		"BenchmarkSchedule/constant":    3000,
+		"BenchmarkMapReduceWordCount":   2000,
+		"BenchmarkGraphPageRank":        2000,
+	}
+	filters := []string{"Datagen", "Schedule"}
+	gated, geo, factor := compare(base, cur, filters, true)
+	if len(gated) != 2 {
+		t.Fatalf("gated %d benches, want 2", len(gated))
+	}
+	if math.Abs(factor-2.0) > 1e-9 {
+		t.Fatalf("machine factor %v, want 2.0", factor)
+	}
+	if math.Abs(geo-1.5) > 1e-9 {
+		t.Fatalf("calibrated gated geomean %v, want 1.5", geo)
+	}
+	// Uncalibrated, the same numbers read as a 3x regression.
+	_, rawGeo, rawFactor := compare(base, cur, filters, false)
+	if rawFactor != 1.0 || math.Abs(rawGeo-3.0) > 1e-9 {
+		t.Fatalf("raw compare: factor %v geomean %v, want 1.0 and 3.0", rawFactor, rawGeo)
+	}
+}
+
+func TestCompareIgnoresUnmatchedBenches(t *testing.T) {
+	base := map[string]float64{"BenchmarkDatagenOld": 1000}
+	cur := map[string]float64{"BenchmarkDatagenNew": 1000}
+	gated, geo, _ := compare(base, cur, []string{"Datagen"}, true)
+	if len(gated) != 0 {
+		t.Fatalf("unmatched benches must not be gated: %v", gated)
+	}
+	if geo != 1.0 {
+		t.Fatalf("empty gate should geomean to 1.0, got %v", geo)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean(nil); g != 1 {
+		t.Fatalf("geomean(nil) = %v", g)
+	}
+	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %v, want 4", g)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/bdbench/bdbench/internal/datagen"
 	"github.com/bdbench/bdbench/internal/datagen/textgen"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
@@ -81,7 +82,9 @@ func (CollaborativeFiltering) Run(ctx context.Context, p workloads.Params, c *me
 	g := stats.NewRNG(p.Seed)
 	users := p.Scale * 500
 	const items = 80
+	t0gen := time.Now()
 	ratings := GenerateRatings(g, users, items, 12)
+	c.RecordDatagen(time.Since(t0gen), int64(len(ratings)))
 
 	t0 := time.Now()
 	// Build item vectors (user -> score) and norms.
@@ -153,23 +156,41 @@ func (NaiveBayes) Domain() string { return "e-commerce" }
 // StackTypes implements workloads.Workload.
 func (NaiveBayes) StackTypes() []stacks.Type { return []stacks.Type{stacks.TypeMapReduce} }
 
+// labeledDoc pairs a document with its ground-truth class.
+type labeledDoc struct {
+	doc   textgen.Document
+	label int
+}
+
 // labeledDocs emits documents drawn from a single hidden topic each, so the
-// topic is a ground-truth class label.
-func labeledDocs(seed uint64, n, meanLen int) ([]textgen.Document, []int, int) {
+// topic is a ground-truth class label. Generation is chunked: the corpus
+// depends only on (seed, n, meanLen), never on the worker count.
+func labeledDocs(seed uint64, n, meanLen, workers int) ([]textgen.Document, []int, int) {
 	model := textgen.NewReferenceModel()
-	g := stats.NewRNG(seed)
+	pairs, err := datagen.Generate(seed, datagen.PlanChunks(int64(n), 256), workers,
+		func(g *stats.RNG, ch datagen.Chunk) ([]labeledDoc, error) {
+			part := make([]labeledDoc, 0, ch.Len())
+			for i := ch.Start; i < ch.End; i++ {
+				topic := g.IntN(model.Topics)
+				length := 20 + g.IntN(meanLen)
+				doc := make(textgen.Document, length)
+				alias := stats.NewAlias(model.Phi[topic])
+				for j := 0; j < length; j++ {
+					doc[j] = model.Vocab.Word(alias.Sample(g))
+				}
+				part = append(part, labeledDoc{doc: doc, label: topic})
+			}
+			return part, nil
+		})
+	if err != nil {
+		// The hidden model cannot fail by construction.
+		panic(err)
+	}
 	docs := make([]textgen.Document, n)
 	labels := make([]int, n)
-	for i := 0; i < n; i++ {
-		topic := g.IntN(model.Topics)
-		labels[i] = topic
-		length := 20 + g.IntN(meanLen)
-		doc := make(textgen.Document, length)
-		alias := stats.NewAlias(model.Phi[topic])
-		for j := 0; j < length; j++ {
-			doc[j] = model.Vocab.Word(alias.Sample(g))
-		}
-		docs[i] = doc
+	for i, p := range pairs {
+		docs[i] = p.doc
+		labels[i] = p.label
 	}
 	return docs, labels, model.Topics
 }
@@ -181,7 +202,9 @@ func (NaiveBayes) Run(ctx context.Context, p workloads.Params, c *metrics.Collec
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	docs, labels, k := labeledDocs(p.Seed, n, 40)
+	t0gen := time.Now()
+	docs, labels, k := labeledDocs(p.Seed, n, 40, p.DatagenWorkers)
+	c.RecordDatagen(time.Since(t0gen), int64(n))
 	split := n * 4 / 5
 
 	// ---- Training: per-class word counts as one MapReduce job.

@@ -46,7 +46,7 @@ func TestGenerateRatings(t *testing.T) {
 }
 
 func TestLabeledDocsAreSingleTopic(t *testing.T) {
-	docs, labels, k := labeledDocs(4, 50, 30)
+	docs, labels, k := labeledDocs(4, 50, 30, 4)
 	if len(docs) != 50 || len(labels) != 50 {
 		t.Fatal("shape wrong")
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/bdbench/bdbench/internal/datagen"
 	"github.com/bdbench/bdbench/internal/datagen/textgen"
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
@@ -18,34 +19,54 @@ import (
 	"github.com/bdbench/bdbench/internal/workloads"
 )
 
-// textInput builds Scale*1000 input records of random text lines.
-func textInput(p workloads.Params, wordsPerLine int) []mapreduce.KV {
-	g := stats.NewRNG(p.Seed)
+// textInput builds Scale*1000 input records of random text lines through
+// the chunked pipeline (records identical at any DatagenWorkers setting)
+// and accounts the preparation wall time to c's data-generation family.
+func textInput(p workloads.Params, wordsPerLine int, c *metrics.Collector) []mapreduce.KV {
 	dict := textgen.DefaultDictionary()
-	n := p.Scale * 1000
-	input := make([]mapreduce.KV, n)
-	var sb strings.Builder
-	for i := 0; i < n; i++ {
-		sb.Reset()
-		for w := 0; w < wordsPerLine; w++ {
-			if w > 0 {
-				sb.WriteByte(' ')
+	n := int64(p.Scale) * 1000
+	t0 := time.Now()
+	input, err := datagen.Generate(p.Seed, datagen.PlanChunks(n, 0), p.DatagenWorkers,
+		func(g *stats.RNG, ch datagen.Chunk) ([]mapreduce.KV, error) {
+			part := make([]mapreduce.KV, 0, ch.Len())
+			var sb strings.Builder
+			for i := ch.Start; i < ch.End; i++ {
+				sb.Reset()
+				for w := 0; w < wordsPerLine; w++ {
+					if w > 0 {
+						sb.WriteByte(' ')
+					}
+					sb.WriteString(dict[g.IntN(len(dict))])
+				}
+				part = append(part, mapreduce.KV{Key: strconv.FormatInt(i, 10), Value: sb.String()})
 			}
-			sb.WriteString(dict[g.IntN(len(dict))])
-		}
-		input[i] = mapreduce.KV{Key: strconv.Itoa(i), Value: sb.String()}
+			return part, nil
+		})
+	if err != nil {
+		// Word sampling cannot fail by construction.
+		panic(err)
 	}
+	c.RecordDatagen(time.Since(t0), n)
 	return input
 }
 
-// keyInput builds Scale*1000 records with random string keys, for sorts.
-func keyInput(p workloads.Params) []mapreduce.KV {
-	g := stats.NewRNG(p.Seed)
-	n := p.Scale * 1000
-	input := make([]mapreduce.KV, n)
-	for i := 0; i < n; i++ {
-		input[i] = mapreduce.KV{Key: g.RandomWord(8, 16), Value: strconv.Itoa(i)}
+// keyInput builds Scale*1000 records with random string keys (for sorts)
+// through the chunked pipeline, accounting preparation time to c.
+func keyInput(p workloads.Params, c *metrics.Collector) []mapreduce.KV {
+	n := int64(p.Scale) * 1000
+	t0 := time.Now()
+	input, err := datagen.Generate(p.Seed, datagen.PlanChunks(n, 0), p.DatagenWorkers,
+		func(g *stats.RNG, ch datagen.Chunk) ([]mapreduce.KV, error) {
+			part := make([]mapreduce.KV, 0, ch.Len())
+			for i := ch.Start; i < ch.End; i++ {
+				part = append(part, mapreduce.KV{Key: g.RandomWord(8, 16), Value: strconv.FormatInt(i, 10)})
+			}
+			return part, nil
+		})
+	if err != nil {
+		panic(err)
 	}
+	c.RecordDatagen(time.Since(t0), n)
 	return input
 }
 
@@ -71,7 +92,7 @@ func (WordCount) Run(ctx context.Context, p workloads.Params, c *metrics.Collect
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	input := textInput(p, 10)
+	input := textInput(p, 10, c)
 	eng := mapreduce.New(p.Workers).Instrument(c)
 	job := mapreduce.Job{
 		Name: "wordcount",
@@ -143,7 +164,7 @@ func (g Grep) Run(ctx context.Context, p workloads.Params, c *metrics.Collector)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	input := textInput(p, 10)
+	input := textInput(p, 10, c)
 	eng := mapreduce.New(p.Workers).Instrument(c)
 	job := mapreduce.Job{
 		Name: "grep",
@@ -191,7 +212,7 @@ func (Sort) Run(ctx context.Context, p workloads.Params, c *metrics.Collector) e
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	input := keyInput(p)
+	input := keyInput(p, c)
 	eng := mapreduce.New(p.Workers).Instrument(c)
 	job := mapreduce.Job{
 		Name:        "sort",
@@ -234,7 +255,7 @@ func (TeraSort) Run(ctx context.Context, p workloads.Params, c *metrics.Collecto
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	input := keyInput(p)
+	input := keyInput(p, c)
 	g := stats.NewRNG(p.Seed + 1)
 	splits := mapreduce.SampleSplits(input, p.Workers, 1000, g)
 	eng := mapreduce.New(p.Workers).Instrument(c)

@@ -25,13 +25,18 @@ import (
 	"github.com/bdbench/bdbench/internal/workloads"
 )
 
-// ordersRows returns the reference orders table at Scale*2000 rows.
-func ordersRows(p workloads.Params) *data.Table {
-	return tablegen.ReferenceTable(p.Seed, int64(p.Scale)*2000)
+// ordersRows returns the reference orders table at Scale*2000 rows,
+// generated through the chunked pipeline (rows identical at any
+// DatagenWorkers setting) with the preparation time accounted to c.
+func ordersRows(p workloads.Params, c *metrics.Collector) *data.Table {
+	t0 := time.Now()
+	t := tablegen.ReferenceTableParallel(p.Seed, int64(p.Scale)*2000, p.DatagenWorkers)
+	c.RecordDatagen(time.Since(t0), int64(t.NumRows()))
+	return t
 }
 
 // customersTable derives a small customers dimension table for joins.
-func customersTable(p workloads.Params) *data.Table {
+func customersTable(p workloads.Params, c *metrics.Collector) *data.Table {
 	spec := tablegen.TableSpec{
 		Name: "customers",
 		Seed: p.Seed + 1,
@@ -41,7 +46,10 @@ func customersTable(p workloads.Params) *data.Table {
 			{Name: "credit", Gen: tablegen.FloatColumn{Dist: stats.Uniform{Min: 0, Max: 1}}},
 		},
 	}
-	return spec.Generate(10000)
+	t0 := time.Now()
+	t := spec.GenerateParallel(10000, p.DatagenWorkers)
+	c.RecordDatagen(time.Since(t0), int64(t.NumRows()))
+	return t
 }
 
 // LoadSelectAggregateJoin runs the Pavlo task sequence on the DBMS and
@@ -66,8 +74,8 @@ func (LoadSelectAggregateJoin) Run(ctx context.Context, p workloads.Params, c *m
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	orders := ordersRows(p)
-	customers := customersTable(p)
+	orders := ordersRows(p, c)
+	customers := customersTable(p, c)
 	db := dbms.Open().Instrument(c)
 
 	t0 := time.Now()
@@ -164,8 +172,8 @@ func (MapReduceEquivalents) Run(ctx context.Context, p workloads.Params, c *metr
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	orders := ordersRows(p)
-	customers := customersTable(p)
+	orders := ordersRows(p, c)
+	customers := customersTable(p, c)
 	eng := mapreduce.New(p.Workers).Instrument(c)
 
 	// Encode orders as "order_id|customer_id|price|region|express".
@@ -312,11 +320,13 @@ func (URLCount) Run(ctx context.Context, p workloads.Params, c *metrics.Collecto
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	orders := ordersRows(p)
-	logs, err := weblog.Generator{}.FromTable(stats.NewRNG(p.Seed+2), orders, p.Scale*5000)
+	orders := ordersRows(p, c)
+	t0gen := time.Now()
+	logs, err := weblog.Generator{}.FromTableParallel(p.Seed+2, orders, p.Scale*5000, p.DatagenWorkers)
 	if err != nil {
 		return err
 	}
+	c.RecordDatagen(time.Since(t0gen), int64(len(logs)))
 
 	// DBMS side: convert logs to a table, GROUP BY path.
 	logTable := data.NewTable(data.Schema{Name: "hits", Cols: []data.Column{

@@ -45,7 +45,9 @@ func (InvertedIndex) Run(ctx context.Context, p workloads.Params, c *metrics.Col
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	docs := textgen.ReferenceCorpus(p.Seed, p.Scale*1000, 40)
+	t0gen := time.Now()
+	docs := textgen.ReferenceCorpusParallel(p.Seed, p.Scale*1000, 40, p.DatagenWorkers)
+	c.RecordDatagen(time.Since(t0gen), int64(len(docs)))
 	input := make([]mapreduce.KV, len(docs))
 	for i, d := range docs {
 		input[i] = mapreduce.KV{Key: strconv.Itoa(i), Value: strings.Join(d, " ")}
@@ -133,7 +135,9 @@ func (PageRank) Run(ctx context.Context, p workloads.Params, c *metrics.Collecto
 		return err
 	}
 	scale := 8 + p.Scale // 2^(8+scale) vertices
-	g := graphgen.DefaultRMAT.Generate(stats.NewRNG(p.Seed), scale)
+	t0gen := time.Now()
+	g := graphgen.DefaultRMAT.GenerateParallel(p.Seed, scale, p.DatagenWorkers)
+	c.RecordDatagen(time.Since(t0gen), int64(g.NumEdges()))
 	eng := graphengine.New(p.Workers).Instrument(c)
 	t0 := time.Now()
 	res, err := eng.Run(g, graphengine.PageRank{}, 20)

@@ -96,7 +96,9 @@ func (w KMeans) Run(ctx context.Context, p workloads.Params, c *metrics.Collecto
 		iters = 8
 	}
 	g := stats.NewRNG(p.Seed)
+	t0gen := time.Now()
 	points, trueCenters := GenerateClusters(g, p.Scale*1000, k)
+	c.RecordDatagen(time.Since(t0gen), int64(len(points)))
 	input := make([]mapreduce.KV, len(points))
 	for i, pt := range points {
 		input[i] = mapreduce.KV{Key: strconv.Itoa(i), Value: pt.encode()}
@@ -224,7 +226,12 @@ func (ConnectedComponents) Run(ctx context.Context, p workloads.Params, c *metri
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// Preferential attachment is inherently sequential (every edge depends
+	// on all previous degrees), so the BA graph stays on the single-RNG
+	// path; its cost is still accounted to the datagen family.
+	t0gen := time.Now()
 	g := graphgen.BarabasiAlbert{M: 2}.Generate(stats.NewRNG(p.Seed), scale)
+	c.RecordDatagen(time.Since(t0gen), int64(g.NumEdges()))
 	und := graphengine.Undirected(g)
 	eng := graphengine.New(p.Workers).Instrument(c)
 	t0 := time.Now()

@@ -7,6 +7,7 @@ package streamwl
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/bdbench/bdbench/internal/datagen/streamgen"
@@ -45,7 +46,14 @@ func (WindowedCount) Run(ctx context.Context, p workloads.Params, c *metrics.Col
 		KeySpace:     100,
 		KeyChooser:   stats.Zipf{Count: 100, S: 1.2},
 	}
-	events := gen.Generate(stats.NewRNG(p.Seed), n)
+	t0gen := time.Now()
+	events := gen.GenerateParallel(p.Seed, n, p.DatagenWorkers)
+	// Chunked Poisson offsets can regress a few events at chunk
+	// boundaries; the window engine assumes in-order arrival, so restore
+	// event-time order first (the reorder buffer a real consumer runs).
+	// The stable sort is deterministic, preserving seed-determinism.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Offset < events[j].Offset })
+	c.RecordDatagen(time.Since(t0gen), n)
 	eng := streaming.New(1024).Instrument(c)
 	t0 := time.Now()
 	res := eng.Run(events, streaming.TumblingWindow{Size: 100 * time.Millisecond})
@@ -94,7 +102,9 @@ func (RollingAggregate) Run(ctx context.Context, p workloads.Params, c *metrics.
 		EventsPerSec: 50000,
 		KeySpace:     20,
 	}
-	events := gen.Generate(stats.NewRNG(p.Seed), n)
+	t0gen := time.Now()
+	events := gen.GenerateParallel(p.Seed, n, p.DatagenWorkers)
+	c.RecordDatagen(time.Since(t0gen), n)
 	eng := streaming.New(1024).Instrument(c)
 	t0 := time.Now()
 	res := eng.Run(events,

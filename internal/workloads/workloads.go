@@ -11,6 +11,7 @@ package workloads
 
 import (
 	"context"
+	"runtime"
 
 	"github.com/bdbench/bdbench/internal/metrics"
 	"github.com/bdbench/bdbench/internal/stacks"
@@ -28,20 +29,30 @@ const (
 
 // Params controls a workload execution. Scale is a workload-specific size
 // knob (records, documents, vertices — see each workload's docs); Workers
-// is the parallelism of the underlying stack.
+// is the parallelism of the underlying stack; DatagenWorkers bounds the
+// chunk-parallel pool that prepares the workload's input data.
 type Params struct {
 	Seed    uint64
 	Scale   int
 	Workers int
+	// DatagenWorkers is the worker count of the chunked data-generation
+	// pipeline (internal/datagen). Input bytes are identical at any
+	// setting — chunk RNGs derive from (seed, chunk index) — so it is a
+	// pure speed knob. Zero or negative means one worker per CPU.
+	DatagenWorkers int
 }
 
-// WithDefaults fills zero fields: Scale 1, Workers 4.
+// WithDefaults fills zero fields: Scale 1, Workers 4, DatagenWorkers one
+// per CPU.
 func (p Params) WithDefaults() Params {
 	if p.Scale <= 0 {
 		p.Scale = 1
 	}
 	if p.Workers <= 0 {
 		p.Workers = 4
+	}
+	if p.DatagenWorkers <= 0 {
+		p.DatagenWorkers = runtime.GOMAXPROCS(0)
 	}
 	return p
 }
