@@ -1,0 +1,46 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); the bench targets exist so a local run leaves
+# the same artifacts the bench job uploads.
+
+GO ?= go
+BENCHTIME ?= 100ms
+BENCH_TXT := bench.txt
+BENCH_DATED := BENCH_$(shell date +%F).json
+
+.PHONY: build test race bench bench-baseline fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/datagen/... ./internal/engine/ ./internal/loadgen/ \
+		./internal/suites/ ./internal/scenario/ ./internal/metrics/ ./internal/stats/ \
+		./internal/stacks/...
+
+# bench runs every benchmark with -benchmem, gates the result against the
+# checked-in baseline (ns/op geomean + exact-zero allocs/op), and writes a
+# dated BENCH_<date>.json at the repo root — the local performance
+# trajectory, one snapshot per day it is run.
+bench:
+	set -o pipefail; \
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) -timeout 25m ./... | tee $(BENCH_TXT)
+	$(GO) run ./internal/tools/benchdiff -in $(BENCH_TXT) \
+		-baseline testdata/bench.baseline.json -out $(BENCH_DATED)
+
+# bench-baseline refreshes the checked-in baseline after an intentional
+# performance change. Review the diff before committing: a zero that became
+# nonzero is a lost zero-allocation guarantee, not noise.
+bench-baseline:
+	set -o pipefail; \
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) -timeout 25m ./... | tee $(BENCH_TXT)
+	$(GO) run ./internal/tools/benchdiff -in $(BENCH_TXT) \
+		-update -baseline testdata/bench.baseline.json
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

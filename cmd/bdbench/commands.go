@@ -10,6 +10,7 @@ import (
 	"time"
 
 	bdbench "github.com/bdbench/bdbench"
+	"github.com/bdbench/bdbench/internal/profiling"
 	"github.com/bdbench/bdbench/internal/testgen"
 )
 
@@ -98,6 +99,48 @@ func (sf *scenarioFlags) options() []bdbench.Option {
 		opts = append(opts, bdbench.WithEvents(printEvent))
 	}
 	return opts
+}
+
+// profileFlags is the shared -profile/-profile-dir pair offered by every
+// command that does real work (run, loadcurve, datagen). The profile
+// brackets the whole command: sweep-style commands execute several runs,
+// and per-run profiles would overwrite one another.
+type profileFlags struct {
+	spec *string
+	dir  *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	return &profileFlags{
+		spec: fs.String("profile", "", "write profiles, comma-separated: "+strings.Join(bdbench.ProfileModes(), "|")),
+		dir:  fs.String("profile-dir", ".", "directory for profile output (cpu.pprof, mem.pprof, allocs.pprof, trace.out)"),
+	}
+}
+
+// start begins the profiling session, or returns a nil (no-op) session
+// when -profile was not given. Callers must Stop the session when the
+// command's work is done — that is when the heap profiles are written.
+func (pf *profileFlags) start() (*profiling.Session, error) {
+	modes, err := profiling.Parse(*pf.spec)
+	if err != nil {
+		return nil, err
+	}
+	return profiling.Start(*pf.dir, modes)
+}
+
+// option translates the flags into the public bdbench.WithProfile option —
+// the path cmdRun uses, so the CLI exercises exactly what an API caller
+// gets. Returns nil options when -profile was not given.
+func (pf *profileFlags) option() ([]bdbench.Option, error) {
+	modes, err := profiling.Parse(*pf.spec)
+	if err != nil || len(modes) == 0 {
+		return nil, err
+	}
+	names := make([]string, len(modes))
+	for i, m := range modes {
+		names[i] = string(m)
+	}
+	return []bdbench.Option{bdbench.WithProfile(*pf.dir, names...)}, nil
 }
 
 // printEvent renders one engine progress event; the engine serializes
@@ -282,6 +325,7 @@ func cmdRun(args []string) error {
 	format := fs.String("format", "text", "output format: "+strings.Join(bdbench.Formats(), "|"))
 	validate := fs.Bool("validate", false, "validate and print the normalized scenario without running it")
 	sf := addScenarioFlags(fs)
+	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -312,7 +356,11 @@ func cmdRun(args []string) error {
 		fmt.Println(string(raw))
 		return nil
 	}
-	out, runErr := bdbench.Run(context.Background(), sc, sf.options()...)
+	popts, err := pf.option()
+	if err != nil {
+		return err
+	}
+	out, runErr := bdbench.Run(context.Background(), sc, append(sf.options(), popts...)...)
 	if out == nil {
 		return runErr
 	}
@@ -340,6 +388,7 @@ func cmdLoadcurve(args []string) error {
 	warmup := fs.Int("warmup", 1, "unmeasured closed-loop warmup runs before each window")
 	format := fs.String("format", "text", "output format: "+strings.Join(bdbench.Formats(), "|"))
 	progress := fs.Bool("progress", false, "stream engine progress to stderr")
+	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -353,6 +402,13 @@ func cmdLoadcurve(args []string) error {
 	if _, err := bdbench.FormatLoadCurve(curve, *format); err != nil {
 		return err
 	}
+	// One profiling session brackets the whole sweep — per-rate sessions
+	// would overwrite each other's files.
+	prof, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer prof.Stop()
 	for _, rate := range swept {
 		sc := bdbench.Scenario{
 			Name:    fmt.Sprintf("loadcurve %s @ %g/s", *workload, rate),
@@ -381,6 +437,12 @@ func cmdLoadcurve(args []string) error {
 		curve.Points = append(curve.Points, bdbench.LoadPointFrom(out.Results[0].Load))
 		fmt.Fprintf(os.Stderr, "loadcurve: %s @ %g/s done (achieved %.0f/s, p99 %v)\n",
 			*workload, rate, out.Results[0].Load.Achieved, out.Results[0].Load.Latency.P99)
+	}
+	// The sweep is the measured region; stop (and flush the heap profiles)
+	// before rendering. The deferred Stop above only covers error exits and
+	// is a no-op after this.
+	if err := prof.Stop(); err != nil {
+		return err
 	}
 	rendered, err := bdbench.FormatLoadCurve(curve, *format)
 	if err != nil {

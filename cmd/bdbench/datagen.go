@@ -22,17 +22,25 @@ func cmdDatagen(args []string) error {
 	workers := fs.Int("workers", 0, "chunk workers (0 = one per CPU); output bytes are identical at any setting")
 	seed := fs.Uint64("seed", 42, "corpus seed; chunk RNGs derive from (seed, chunk index)")
 	format := fs.String("format", "text", "output format: text or json")
+	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "text" && *format != "json" {
 		return fmt.Errorf("datagen: unknown format %q (want text or json)", *format)
 	}
+	prof, err := pf.start()
+	if err != nil {
+		return err
+	}
 	stat, err := bdbench.DataGen(*workload, bdbench.DataGenOptions{
 		Scale:   *scale,
 		Workers: *workers,
 		Seed:    *seed,
 	})
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}

@@ -123,6 +123,13 @@ open-loop load (run, figure1, experiments; loadcurve has its own flags):
   -arrival P        arrival process: constant, poisson, bursty or ramp
   -duration D       scheduling window per workload, e.g. 10s
 
+profiling (run, loadcurve, datagen):
+  -profile M        write Go profiles around the whole command; M is a
+                    comma-separated subset of cpu, mem, allocs, trace
+  -profile-dir D    where the files land (cpu.pprof, mem.pprof,
+                    allocs.pprof, trace.out; default "."); inspect with
+                    "go tool pprof" or "go tool trace"
+
 Workload outputs (counters, verification) are seed-deterministic at any
 -workers setting; only timings vary with parallelism. Arrival schedules are
 seed-deterministic too: same seed and rate, same intended start times.

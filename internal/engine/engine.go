@@ -236,6 +236,7 @@ func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event))
 	if t.Reps > 0 {
 		reps = t.Reps
 	}
+	res.Reps = make([]Rep, 0, reps)
 	var throughput, elapsed stats.Summary
 	for r := 0; r < reps; r++ {
 		rep := runOnce(ctx, t, cfg.Timeout)
@@ -359,7 +360,7 @@ func runOnce(ctx context.Context, t Task, timeout time.Duration) Rep {
 // closed-loop repetitions and open-loop operations are abandoned
 // identically.
 func awaitRun(ctx context.Context, t Task, c *metrics.Collector) error {
-	done := make(chan error, 1)
+	done := donePool.Get().(chan error)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -370,8 +371,21 @@ func awaitRun(ctx context.Context, t Task, c *metrics.Collector) error {
 	}()
 	select {
 	case err := <-done:
+		donePool.Put(done)
 		return err
 	case <-ctx.Done():
+		// The abandoned goroutine still owns the channel and will complete
+		// its one buffered send later; recycling it here could deliver that
+		// stale result to an unrelated run. Let it be garbage instead.
 		return ctx.Err()
 	}
+}
+
+// donePool recycles awaitRun's one-slot completion channels. Open-loop mode
+// calls awaitRun once per dispatched operation, so without reuse every
+// operation pays a channel allocation. A channel is returned to the pool
+// only after its result was received — a drained one-slot channel is
+// indistinguishable from new.
+var donePool = sync.Pool{
+	New: func() any { return make(chan error, 1) },
 }

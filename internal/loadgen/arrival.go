@@ -71,7 +71,9 @@ func (Poisson) Name() string { return "poisson" }
 
 // Offsets implements Process.
 func (Poisson) Offsets(rate float64, d time.Duration, g *stats.RNG) []time.Duration {
-	var out []time.Duration
+	// Sized for the expected count; the stream is random, so a draw-heavy
+	// schedule may still grow the slice once or twice — but never per arrival.
+	out := make([]time.Duration, 0, opCount(rate, d))
 	var t float64 // seconds from window start
 	limit := d.Seconds()
 	for {
@@ -113,7 +115,7 @@ func (b Bursty) Offsets(rate float64, d time.Duration, g *stats.RNG) []time.Dura
 		on = 0.5
 	}
 	perCycle := rate * cycle.Seconds()
-	var out []time.Duration
+	out := make([]time.Duration, 0, opCount(rate, d))
 	for cycleStart, c := time.Duration(0), 1; cycleStart < d; cycleStart, c = cycleStart+cycle, c+1 {
 		onWindow := time.Duration(float64(cycle) * on)
 		// Jitter the burst's start within the slack of its own cycle.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
 )
 
 // BenchmarkSchedule measures arrival-schedule materialization per process
@@ -21,6 +23,24 @@ func BenchmarkSchedule(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDispatchSteadyState measures the per-operation hot path in
+// isolation — execOne through the histograms and pre-resolved OpRefs, on a
+// fixed clock so time-source cost is excluded. This is the zero-allocation
+// contract's loadgen half: the allocs/op column must stay at 0 (benchdiff
+// gates it against the baseline with exact-zero semantics).
+func BenchmarkDispatchSteadyState(b *testing.B) {
+	c := metrics.NewCollector("bench")
+	base := time.Unix(1000, 0)
+	now := func() time.Time { return base }
+	r := newRunState(context.Background(), func(context.Context) error { return nil }, c, now, 0)
+	r.execOne(0) // warm the substrate labels
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.execOne(time.Millisecond)
 	}
 }
 

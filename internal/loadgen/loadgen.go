@@ -49,8 +49,10 @@ type Options struct {
 	Rec metrics.Recorder
 
 	// Now and Sleep are injectable for tests; nil means the real clock.
+	// Sleep receives the run's context and must return early when it is
+	// cancelled, so shutdown is never delayed by a pacing sleep.
 	Now   func() time.Time
-	Sleep func(time.Duration)
+	Sleep func(context.Context, time.Duration)
 }
 
 // LatencySummary is one latency distribution digest.
@@ -109,6 +111,120 @@ type Stats struct {
 	Wait    LatencySummary `json:"wait"`
 }
 
+// runState is one open-loop run's dispatch machinery, hoisted out of Run
+// so that every per-operation cost is paid once at construction: the
+// schedule is materialized up front, the histograms are plain fields, the
+// metric handles are pre-resolved OpRefs, and workers are goroutines that
+// range over one shared handoff channel. The steady-state dispatch path —
+// hand an offset to a parked worker, execute, observe — performs zero heap
+// allocations (asserted by TestDispatchSteadyStateZeroAlloc and gated in
+// CI via BenchmarkDispatchSteadyState).
+type runState struct {
+	ctx context.Context
+	op  func(context.Context) error
+	now func() time.Time
+	t0  time.Time
+
+	latHist, svcHist, waitHist stats.AtomicLatencyHistogram
+	reqRef, svcRef, waitRef    metrics.OpRef
+
+	dispatched, skipped, errs atomic.Int64
+	endNs                     atomic.Int64 // latest completion, ns offset from t0
+
+	wg sync.WaitGroup
+	// ready carries intended-start offsets to workers. Unbounded mode uses
+	// an unbuffered channel: a send succeeds only by direct handoff to a
+	// parked worker, and the dispatcher spawns a new worker exactly when no
+	// idle one exists — peak concurrency costs one goroutine each, steady
+	// state reuses them all. Bounded mode (MaxInflight) buffers the whole
+	// schedule so the dispatcher never blocks while excess arrivals queue.
+	ready chan time.Duration
+}
+
+// newRunState builds the dispatch machinery for one run. now is the clock
+// (t0 is read from it immediately); rec mirrors observations into the
+// sharded metrics pipeline and may be nil.
+func newRunState(ctx context.Context, op func(context.Context) error, rec metrics.Recorder, now func() time.Time, buffered int) *runState {
+	r := &runState{ctx: ctx, op: op, now: now}
+	subRec := metrics.SubstrateShardOf(rec)
+	r.reqRef = metrics.OpRefOf(subRec, OpRequest)
+	r.svcRef = metrics.OpRefOf(subRec, OpService)
+	r.waitRef = metrics.OpRefOf(subRec, OpWait)
+	r.ready = make(chan time.Duration, buffered)
+	r.t0 = now()
+	return r
+}
+
+// dispatch hands one intended-start offset to a worker. In unbounded mode
+// it spawns a worker only when none is parked on the handoff channel, so
+// the op starts immediately without a per-operation goroutine in steady
+// state.
+func (r *runState) dispatch(off time.Duration, bounded bool) {
+	if bounded {
+		r.ready <- off // buffered with the whole schedule: never blocks
+		return
+	}
+	select {
+	case r.ready <- off: // direct handoff to an idle worker
+	default:
+		r.spawnWorker()
+		r.ready <- off
+	}
+}
+
+// spawnWorker adds one reusable executor goroutine.
+func (r *runState) spawnWorker() {
+	r.wg.Add(1)
+	go r.worker()
+}
+
+// worker executes offsets until the schedule is exhausted.
+func (r *runState) worker() {
+	defer r.wg.Done()
+	for off := range r.ready {
+		r.execOne(off)
+	}
+}
+
+// execOne runs one operation and records its three latency views. This is
+// the per-operation hot path: zero allocations in steady state.
+func (r *runState) execOne(offset time.Duration) {
+	if r.ctx.Err() != nil {
+		r.skipped.Add(1)
+		return
+	}
+	r.dispatched.Add(1)
+	intended := r.t0.Add(offset)
+	actual := r.now()
+	err := runIsolated(r.ctx, r.op)
+	end := r.now()
+
+	wait := actual.Sub(intended)
+	if wait < 0 {
+		wait = 0
+	}
+	lat := end.Sub(intended)
+	svc := end.Sub(actual)
+	r.latHist.Observe(lat)
+	r.svcHist.Observe(svc)
+	r.waitHist.Observe(wait)
+	r.reqRef.Observe(lat)
+	r.svcRef.Observe(svc)
+	r.waitRef.Observe(wait)
+	if err != nil {
+		r.errs.Add(1)
+	}
+	for {
+		cur := r.endNs.Load()
+		if ns := int64(end.Sub(r.t0)); ns > cur {
+			if !r.endNs.CompareAndSwap(cur, ns) {
+				continue
+			}
+		}
+		break
+	}
+}
+
 // Run offers the configured load to op: it materializes the arrival
 // schedule, dispatches each operation at its intended start time — never
 // waiting for earlier completions — and waits for every dispatched
@@ -130,10 +246,6 @@ func Run(ctx context.Context, opts Options, op func(context.Context) error) (Sta
 	if now == nil {
 		now = time.Now
 	}
-	sleep := opts.Sleep
-	if sleep == nil {
-		sleep = sleepContext
-	}
 
 	sched := Schedule(proc, opts.Rate, opts.Duration, opts.Seed)
 	st := Stats{
@@ -143,112 +255,58 @@ func Run(ctx context.Context, opts Options, op func(context.Context) error) (Sta
 		Scheduled: len(sched),
 	}
 
-	var (
-		latHist, svcHist, waitHist stats.AtomicLatencyHistogram
-		dispatched, skipped, errs  atomic.Int64
-		endNs                      atomic.Int64 // latest completion, ns offset from t0
-	)
-	subRec := metrics.SubstrateShardOf(opts.Rec)
-
-	t0 := now()
-	execOne := func(offset time.Duration) {
-		if ctx.Err() != nil {
-			skipped.Add(1)
-			return
-		}
-		dispatched.Add(1)
-		intended := t0.Add(offset)
-		actual := now()
-		err := runIsolated(ctx, op)
-		end := now()
-
-		wait := actual.Sub(intended)
-		if wait < 0 {
-			wait = 0
-		}
-		lat := end.Sub(intended)
-		svc := end.Sub(actual)
-		latHist.Observe(lat)
-		svcHist.Observe(svc)
-		waitHist.Observe(wait)
-		if subRec != nil {
-			subRec.ObserveLatency(OpRequest, lat)
-			subRec.ObserveLatency(OpService, svc)
-			subRec.ObserveLatency(OpWait, wait)
-		}
-		if err != nil {
-			errs.Add(1)
-		}
-		for {
-			cur := endNs.Load()
-			if ns := int64(end.Sub(t0)); ns > cur {
-				if !endNs.CompareAndSwap(cur, ns) {
-					continue
-				}
-			}
-			break
-		}
+	bounded := opts.MaxInflight > 0
+	buffered := 0
+	if bounded {
+		// Arrivals past the cap queue (with the queueing time still charged
+		// from their intended start). The channel holds the whole schedule,
+		// so the dispatcher itself never blocks on capacity.
+		buffered = len(sched)
 	}
-
-	var wg sync.WaitGroup
-	var jobs chan time.Duration
-	if opts.MaxInflight > 0 {
-		// A bounded pool: arrivals past the cap queue (with the queueing time
-		// still charged from their intended start). The channel holds the
-		// whole schedule, so the dispatcher itself never blocks on capacity.
-		jobs = make(chan time.Duration, len(sched))
+	r := newRunState(ctx, op, opts.Rec, now, buffered)
+	if bounded {
 		for w := 0; w < opts.MaxInflight; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for off := range jobs {
-					execOne(off)
-				}
-			}()
+			r.spawnWorker()
 		}
 	}
 
 	// The dispatcher walks the precomputed schedule on the clock. It reads
 	// nothing from completions — that independence is what makes the loop
-	// open.
+	// open. One pacing timer is reused across every sleep, so pacing
+	// produces no per-arrival garbage and honors cancellation.
+	var timer *time.Timer
 	cancelled := false
 	for _, off := range sched {
 		if ctx.Err() != nil {
-			skipped.Add(1)
+			r.skipped.Add(1)
 			cancelled = true
 			continue
 		}
-		if wait := t0.Add(off).Sub(now()); wait > 0 {
-			sleep(wait)
+		if wait := r.t0.Add(off).Sub(now()); wait > 0 {
+			if opts.Sleep != nil {
+				opts.Sleep(ctx, wait)
+			} else {
+				timer = sleepContext(ctx, timer, wait)
+			}
 		}
-		if opts.MaxInflight > 0 {
-			jobs <- off
-		} else {
-			wg.Add(1)
-			go func(off time.Duration) {
-				defer wg.Done()
-				execOne(off)
-			}(off)
-		}
+		r.dispatch(off, bounded)
 	}
-	if jobs != nil {
-		close(jobs)
-	}
-	wg.Wait()
+	close(r.ready)
+	r.wg.Wait()
 
-	st.Dispatched = int(dispatched.Load())
-	st.Skipped = int(skipped.Load())
-	st.Errors = int(errs.Load())
-	st.Elapsed = time.Duration(endNs.Load())
+	st.Dispatched = int(r.dispatched.Load())
+	st.Skipped = int(r.skipped.Load())
+	st.Errors = int(r.errs.Load())
+	st.Elapsed = time.Duration(r.endNs.Load())
 	if st.Elapsed <= 0 {
-		st.Elapsed = now().Sub(t0)
+		st.Elapsed = now().Sub(r.t0)
 	}
 	if span := max(st.Elapsed, st.Window); span > 0 {
 		st.Achieved = float64(st.Dispatched-st.Errors) / span.Seconds()
 	}
-	st.Latency = summarize(&latHist)
-	st.Service = summarize(&svcHist)
-	st.Wait = summarize(&waitHist)
+	st.Latency = summarize(&r.latHist)
+	st.Service = summarize(&r.svcHist)
+	st.Wait = summarize(&r.waitHist)
 	if cancelled {
 		return st, fmt.Errorf("loadgen: cancelled after %d/%d operations: %w",
 			st.Dispatched, st.Scheduled, ctx.Err())
@@ -267,7 +325,21 @@ func runIsolated(ctx context.Context, op func(context.Context) error) (err error
 	return op(ctx)
 }
 
-// sleepContext is the default sleeper. Plain time.Sleep is fine here: the
-// dispatcher re-checks the context before every dispatch, and scheduling
-// gaps are bounded by the window.
-func sleepContext(d time.Duration) { time.Sleep(d) }
+// sleepContext pauses for d or until ctx is cancelled, whichever comes
+// first — a pacing sleep must never delay shutdown. The timer is reused
+// across calls (pass nil on the first, the return value thereafter), so a
+// high-rate dispatch loop produces no per-sleep timer garbage. Requires the
+// go1.23+ timer semantics go.mod declares: Reset without draining is safe.
+func sleepContext(ctx context.Context, timer *time.Timer, d time.Duration) *time.Timer {
+	if timer == nil {
+		timer = time.NewTimer(d)
+	} else {
+		timer.Reset(d)
+	}
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+		timer.Stop()
+	}
+	return timer
+}

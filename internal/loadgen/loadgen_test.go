@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/raceflag"
 )
 
 // TestRunExecutesSchedule runs a trivial operation under a constant load
@@ -192,7 +193,7 @@ func TestRunVirtualClock(t *testing.T) {
 	base := time.Unix(1000, 0)
 	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
 	var slept []time.Duration
-	sleep := func(d time.Duration) { clock.Add(int64(d)); slept = append(slept, d) }
+	sleep := func(_ context.Context, d time.Duration) { clock.Add(int64(d)); slept = append(slept, d) }
 	st, err := Run(context.Background(), Options{
 		Rate: 10, Duration: time.Second,
 		Now: now, Sleep: sleep,
@@ -212,5 +213,80 @@ func TestRunVirtualClock(t *testing.T) {
 		if d != 100*time.Millisecond {
 			t.Fatalf("sleep %d = %v, want 100ms", i, d)
 		}
+	}
+}
+
+// TestRunCancelDuringSleep verifies the pacing sleep itself honors the
+// context: a sparse schedule (one arrival per second) must not hold
+// shutdown hostage for the remainder of a pacing gap.
+func TestRunCancelDuringSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var st Stats
+	var err error
+	start := time.Now()
+	go func() {
+		defer close(done)
+		st, err = Run(ctx, Options{Rate: 1, Duration: 30 * time.Second},
+			func(context.Context) error { return nil })
+	}()
+	time.Sleep(50 * time.Millisecond) // let the dispatcher park in its pacing sleep
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return promptly after cancellation during a pacing sleep")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shutdown took %v: pacing sleep ignored the context", elapsed)
+	}
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled wrap, got %v", err)
+	}
+	if st.Skipped == 0 {
+		t.Fatalf("cancelled run reported no skipped arrivals: %+v", st)
+	}
+}
+
+// TestSleepContextTimerReuse exercises sleepContext directly: the timer
+// returned from one call must be reusable by the next, and a cancelled
+// context must cut a long sleep short.
+func TestSleepContextTimerReuse(t *testing.T) {
+	timer := sleepContext(context.Background(), nil, time.Millisecond)
+	if timer == nil {
+		t.Fatal("sleepContext returned a nil timer")
+	}
+	timer2 := sleepContext(context.Background(), timer, time.Millisecond)
+	if timer2 != timer {
+		t.Fatal("sleepContext did not reuse the timer")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	sleepContext(ctx, timer, time.Minute)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled sleep took %v", elapsed)
+	}
+}
+
+// TestDispatchSteadyStateZeroAlloc asserts the per-operation hot path —
+// execOne through the histograms and the pre-resolved OpRefs — allocates
+// nothing once the run state exists. This is the loadgen half of the
+// zero-allocation contract; BenchmarkDispatchSteadyState gates it in CI.
+func TestDispatchSteadyStateZeroAlloc(t *testing.T) {
+	c := metrics.NewCollector("wl")
+	op := func(context.Context) error { return nil }
+	base := time.Unix(1000, 0)
+	now := func() time.Time { return base }
+	r := newRunState(context.Background(), op, c, now, 0)
+	r.execOne(0) // warm the substrate labels
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.execOne(time.Millisecond)
+	})
+	if raceflag.Enabled {
+		t.Skipf("allocation counts not asserted under -race (measured %.1f)", allocs)
+	}
+	if allocs != 0 {
+		t.Errorf("dispatch steady state: %.1f allocs/op, want 0", allocs)
 	}
 }

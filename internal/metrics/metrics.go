@@ -197,6 +197,14 @@ func (c *Collector) Add(counter string, delta int64) {
 	c.def.Add(counter, delta)
 }
 
+// Op mints a pre-resolved latency handle on the collector's default shard;
+// see Shard.Op.
+func (c *Collector) Op(name string) OpRef { return c.def.Op(name) }
+
+// CounterRef mints a pre-resolved counter handle on the collector's default
+// shard; see Shard.CounterRef.
+func (c *Collector) CounterRef(name string) CounterRef { return c.def.CounterRef(name) }
+
 // Counter returns the current value of a counter, summed across all shards.
 func (c *Collector) Counter(name string) int64 {
 	c.mu.Lock()

@@ -65,6 +65,103 @@ func ObserveSince(rec Recorder, op string, start time.Time) {
 	}
 }
 
+// OpRef is a pre-resolved handle for one operation label: the hot-path
+// counterpart of Recorder.ObserveLatency with the per-call map lookup
+// hoisted out. A worker obtains the ref once (Shard.Op, Collector.Op or
+// OpRefOf) and then observes through a single pointer dereference —
+// provably allocation-free, so the record path cannot become the GC
+// pressure it is supposed to measure. The zero OpRef is a no-op, mirroring
+// the nil-Recorder idiom of StartTimer/ObserveSince.
+type OpRef struct {
+	h *stats.AtomicLatencyHistogram
+	// rec and name are the fallback path for Recorder implementations that
+	// cannot mint direct histogram handles (custom recorders outside this
+	// package); nil for refs minted by Shard/Collector.
+	rec  Recorder
+	name string
+}
+
+// Observe records one latency under the ref's operation label. Safe for
+// concurrent use; a no-op on the zero ref.
+func (r OpRef) Observe(d time.Duration) {
+	if r.h != nil {
+		r.h.Observe(d)
+		return
+	}
+	if r.rec != nil {
+		r.rec.ObserveLatency(r.name, d)
+	}
+}
+
+// ObserveSince records the time elapsed since start — the OpRef twin of
+// ObserveSince(rec, op, start).
+func (r OpRef) ObserveSince(start time.Time) {
+	if r.h != nil {
+		r.h.Observe(time.Since(start))
+		return
+	}
+	if r.rec != nil {
+		r.rec.ObserveLatency(r.name, time.Since(start))
+	}
+}
+
+// Valid reports whether observations through the ref are recorded anywhere.
+func (r OpRef) Valid() bool { return r.h != nil || r.rec != nil }
+
+// CounterRef is the counter twin of OpRef: a pre-resolved handle to one
+// named counter cell. The zero CounterRef is a no-op.
+type CounterRef struct {
+	c    *atomic.Int64
+	rec  Recorder
+	name string
+}
+
+// Add increments the ref's counter by delta. Safe for concurrent use; a
+// no-op on the zero ref.
+func (r CounterRef) Add(delta int64) {
+	if r.c != nil {
+		r.c.Add(delta)
+		return
+	}
+	if r.rec != nil {
+		r.rec.Add(r.name, delta)
+	}
+}
+
+// RefMinter is implemented by recorders that can hand out direct OpRef and
+// CounterRef handles (*Shard and *Collector). OpRefOf and CounterRefOf use
+// it, falling back to the string-keyed Recorder path otherwise.
+type RefMinter interface {
+	Op(name string) OpRef
+	CounterRef(name string) CounterRef
+}
+
+// OpRefOf resolves a pre-bound latency handle for op on rec: a direct
+// histogram handle when rec can mint one, a string-keyed fallback wrapper
+// otherwise, and a no-op ref for a nil recorder. Worker hot loops call it
+// once at start-up and observe through the ref thereafter.
+func OpRefOf(rec Recorder, op string) OpRef {
+	if rec == nil {
+		return OpRef{}
+	}
+	if m, ok := rec.(RefMinter); ok {
+		return m.Op(op)
+	}
+	return OpRef{rec: rec, name: op}
+}
+
+// CounterRefOf resolves a pre-bound counter handle for name on rec; see
+// OpRefOf.
+func CounterRefOf(rec Recorder, name string) CounterRef {
+	if rec == nil {
+		return CounterRef{}
+	}
+	if m, ok := rec.(RefMinter); ok {
+		return m.CounterRef(name)
+	}
+	return CounterRef{rec: rec, name: name}
+}
+
 // latMap and ctrMap are the copy-on-write map types behind a shard. A
 // published map value is immutable: inserting a new operation or counter
 // label copies the map under the shard's mutex and atomically swaps the
@@ -127,6 +224,29 @@ func (s *Shard) latSlow(op string) *stats.AtomicLatencyHistogram {
 	next[op] = h
 	s.lat.Store(&next)
 	return h
+}
+
+// Op mints a pre-resolved handle for the operation label, installing its
+// histogram if this is the label's first use. Hot loops resolve once, then
+// observe lock-free through the handle with no per-call map lookup.
+func (s *Shard) Op(name string) OpRef {
+	if m := s.lat.Load(); m != nil {
+		if h, ok := (*m)[name]; ok {
+			return OpRef{h: h}
+		}
+	}
+	return OpRef{h: s.latSlow(name)}
+}
+
+// CounterRef mints a pre-resolved handle for the named counter cell,
+// installing it if this is the counter's first use.
+func (s *Shard) CounterRef(name string) CounterRef {
+	if m := s.counters.Load(); m != nil {
+		if c, ok := (*m)[name]; ok {
+			return CounterRef{c: c}
+		}
+	}
+	return CounterRef{c: s.counterSlow(name)}
 }
 
 // Add increments the named counter by delta. Counters capture architecture
@@ -217,7 +337,9 @@ func lenOf[M ~map[string]V, V any](m *M) int {
 }
 
 var (
-	_ Recorder = (*Shard)(nil)
-	_ Recorder = (*Collector)(nil)
-	_ Sharder  = (*Collector)(nil)
+	_ Recorder  = (*Shard)(nil)
+	_ Recorder  = (*Collector)(nil)
+	_ Sharder   = (*Collector)(nil)
+	_ RefMinter = (*Shard)(nil)
+	_ RefMinter = (*Collector)(nil)
 )

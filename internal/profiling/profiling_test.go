@@ -1,0 +1,94 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	modes, err := Parse("cpu, mem,allocs,cpu")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(modes) != 3 || modes[0] != ModeCPU || modes[1] != ModeMem || modes[2] != ModeAllocs {
+		t.Fatalf("modes = %v", modes)
+	}
+	if modes, err := Parse(""); err != nil || modes != nil {
+		t.Fatalf("empty spec: %v, %v", modes, err)
+	}
+	if _, err := Parse("heap"); err == nil || !strings.Contains(err.Error(), "cpu, mem, allocs, trace") {
+		t.Fatalf("unknown mode error should list the supported ones, got %v", err)
+	}
+}
+
+// TestSessionWritesProfiles starts every mode at once against a temp dir
+// and checks each advertised file exists and is non-empty after Stop. The
+// profile formats themselves are the runtime's own; non-empty output means
+// the profiler genuinely ran.
+func TestSessionWritesProfiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	modes, err := Parse("cpu,mem,allocs,trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Start(dir, modes)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Allocate a little so the allocs profile has samples.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for _, name := range []string{"cpu.pprof", "mem.pprof", "allocs.pprof", "trace.out"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", name)
+		}
+	}
+}
+
+// TestNoopSession: no modes means no session, and a nil session's Stop is
+// a safe no-op — callers thread the result through unconditionally.
+func TestNoopSession(t *testing.T) {
+	s, err := Start(t.TempDir(), nil)
+	if err != nil || s != nil {
+		t.Fatalf("Start with no modes: %v, %v", s, err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("nil Stop: %v", err)
+	}
+}
+
+// TestStartFailureCleansUp: an unwritable directory fails Start without
+// leaving a profiler running (a second Start must succeed).
+func TestStartFailureCleansUp(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("directory permissions are advisory for root")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := Start(filepath.Join(dir, "sub"), []Mode{ModeCPU}); err == nil {
+		t.Fatal("Start into unwritable dir should fail")
+	}
+	s, err := Start(t.TempDir(), []Mode{ModeCPU})
+	if err != nil {
+		t.Fatalf("profiler left running after failed Start: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,7 @@
+// Package raceflag exposes whether the binary was built with the race
+// detector. The zero-allocation tests use it: under -race the runtime
+// instruments memory accesses and testing.AllocsPerRun reports detector
+// bookkeeping, so exact allocation assertions are skipped while the hot
+// paths themselves still execute (the race step exercises them for data
+// races, the regular test run asserts the counts).
+package raceflag

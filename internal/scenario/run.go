@@ -10,6 +10,7 @@ import (
 	"github.com/bdbench/bdbench/internal/engine"
 	"github.com/bdbench/bdbench/internal/loadgen"
 	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/profiling"
 	"github.com/bdbench/bdbench/internal/suites"
 	"github.com/bdbench/bdbench/internal/workloads"
 )
@@ -140,6 +141,11 @@ type Options struct {
 	ProbeData bool
 	// Load, when non-nil, overrides the spec's open-loop settings.
 	Load *LoadOverride
+	// Profile lists the profilers to run around the five steps (see
+	// internal/profiling); empty means none. ProfileDir is where the
+	// pprof/trace files land ("." when empty).
+	Profile    []profiling.Mode
+	ProfileDir string
 }
 
 // Run executes the five-step benchmarking process for the spec: validate
@@ -151,7 +157,24 @@ type Options struct {
 // summarized in the returned error. A cancelled context aborts before the
 // potentially expensive probes, and makes in-flight workload runs fail fast
 // with the context's error.
+//
+// When Options.Profile is set, the requested profilers bracket the whole
+// five-step process and their files land in Options.ProfileDir; a profile
+// write failure surfaces as the run's error only when the run itself
+// succeeded.
 func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
+	prof, err := profiling.Start(opts.ProfileDir, opts.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	out, runErr := run(ctx, spec, opts)
+	if err := prof.Stop(); err != nil && runErr == nil {
+		runErr = fmt.Errorf("scenario: %w", err)
+	}
+	return out, runErr
+}
+
+func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	reg := opts.Registry
 	if reg == nil {
 		reg = Default()

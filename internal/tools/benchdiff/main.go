@@ -1,22 +1,27 @@
 // Command benchdiff is the CI benchmark-regression gate: it parses `go test
-// -bench` output, records every benchmark's ns/op as a results JSON (the
-// artifact that seeds the performance trajectory), and compares the gated
-// subset — datagen, loadgen and collector benches by default — against a
-// checked-in baseline, failing on a >25% geomean regression.
+// -bench -benchmem` output, records every benchmark's ns/op, B/op and
+// allocs/op as a results JSON (the artifact that seeds the performance
+// trajectory), and compares the gated subset — datagen, loadgen, collector
+// and engine benches by default — against a checked-in baseline. It fails
+// on a >25% geomean ns/op regression, and independently on any allocs/op
+// regression: a bench whose baseline is 0 allocs/op must stay at exactly 0
+// (the zero-allocation contract), and a nonzero baseline may not grow past
+// its own threshold.
 //
-//	go test -run '^$' -bench . ./... | go run ./internal/tools/benchdiff \
+//	go test -run '^$' -bench . -benchmem ./... | go run ./internal/tools/benchdiff \
 //	    -baseline testdata/bench.baseline.json -out bench.results.json
 //
 // Regenerate the baseline after an intentional performance change:
 //
-//	go test -run '^$' -bench . ./... | go run ./internal/tools/benchdiff \
+//	go test -run '^$' -bench . -benchmem ./... | go run ./internal/tools/benchdiff \
 //	    -update -baseline testdata/bench.baseline.json
 //
-// Absolute ns/op differ across machines, so the gate calibrates: the
+// Absolute ns/op differ across machines, so the time gate calibrates: the
 // geomean ratio of the non-gated benches estimates the machine-speed factor
 // between baseline and current run, and the gated geomean is judged
 // relative to it. Disable with -calibrate=false when baseline and run come
-// from the same machine.
+// from the same machine. Allocation counts are deterministic per build —
+// they never calibrate.
 package main
 
 import (
@@ -34,6 +39,27 @@ import (
 	"strings"
 )
 
+// Bench is one benchmark's recorded measurements. AllocsPerOp and
+// BytesPerOp are pointers because absence and zero mean different things:
+// a run without -benchmem has no allocation columns at all, while a
+// present zero is the zero-allocation contract the gate enforces exactly.
+type Bench struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+}
+
+// UnmarshalJSON accepts both the current object shape and the legacy
+// baseline format, where each benchmark was a bare ns/op number.
+func (b *Bench) UnmarshalJSON(data []byte) error {
+	trimmed := strings.TrimSpace(string(data))
+	if !strings.HasPrefix(trimmed, "{") {
+		return json.Unmarshal(data, &b.NsPerOp)
+	}
+	type alias Bench // drop methods to avoid recursion
+	return json.Unmarshal(data, (*alias)(b))
+}
+
 // Results is the JSON shape of both the checked-in baseline and the
 // uploaded artifact.
 type Results struct {
@@ -41,34 +67,43 @@ type Results struct {
 	Note string `json:"note,omitempty"`
 	// Go is the toolchain that ran the benches.
 	Go string `json:"go,omitempty"`
-	// Benchmarks maps bench name (CPU suffix stripped) to ns/op.
-	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Benchmarks maps bench name (CPU suffix stripped) to its measurements.
+	Benchmarks map[string]Bench `json:"benchmarks"`
 }
 
 // benchLine matches one `go test -bench` result line:
-// "BenchmarkName/sub-8   	  123	  4567 ns/op	...".
+// "BenchmarkName/sub-8   	  123	  4567 ns/op	  32 B/op	  1 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// bytesCol and allocsCol match the -benchmem columns anywhere after the
+// ns/op field (custom b.ReportMetric columns may sit between them).
+var (
+	bytesCol  = regexp.MustCompile(`\s([0-9.]+) B/op`)
+	allocsCol = regexp.MustCompile(`\s([0-9.]+) allocs/op`)
+)
 
 // cpuSuffix matches a candidate GOMAXPROCS suffix at the end of a name.
 var cpuSuffix = regexp.MustCompile(`-(\d+)$`)
 
-// parseBench extracts benchmark name → ns/op from -bench output. The
-// GOMAXPROCS suffix is stripped so results compare across machines — but
-// only when every name of the run carries the same one: go test appends
-// "-N" to every benchmark (and nothing at GOMAXPROCS=1), so a uniform
-// trailing "-N" is the suffix, while a varying one (sub-benchmarks like
-// "writers-1"/"writers-2") is part of the name. Duplicate names (the same
-// bench in several packages or -count runs) keep the best (lowest) time.
-func parseBench(r io.Reader) (map[string]float64, error) {
+// parseBench extracts benchmark name → measurements from -bench output.
+// The GOMAXPROCS suffix is stripped so results compare across machines —
+// but only when every name of the run carries the same one: go test
+// appends "-N" to every benchmark (and nothing at GOMAXPROCS=1), so a
+// uniform trailing "-N" is the suffix, while a varying one
+// (sub-benchmarks like "writers-1"/"writers-2") is part of the name.
+// Duplicate names (the same bench in several packages or -count runs) keep
+// the best (lowest-ns) run, with that run's allocation columns.
+func parseBench(r io.Reader) (map[string]Bench, error) {
 	type entry struct {
-		name string
-		ns   float64
+		name  string
+		bench Bench
 	}
 	var entries []entry
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -76,7 +111,18 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if err != nil || ns <= 0 {
 			continue
 		}
-		entries = append(entries, entry{name: m[1], ns: ns})
+		b := Bench{NsPerOp: ns}
+		if bm := bytesCol.FindStringSubmatch(line); bm != nil {
+			if v, err := strconv.ParseFloat(bm[1], 64); err == nil {
+				b.BytesPerOp = &v
+			}
+		}
+		if am := allocsCol.FindStringSubmatch(line); am != nil {
+			if v, err := strconv.ParseFloat(am[1], 64); err == nil {
+				b.AllocsPerOp = &v
+			}
+		}
+		entries = append(entries, entry{name: m[1], bench: b})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -93,11 +139,11 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		}
 		suffix = m
 	}
-	out := map[string]float64{}
+	out := map[string]Bench{}
 	for _, e := range entries {
 		name := strings.TrimSuffix(e.name, suffix)
-		if old, ok := out[name]; !ok || e.ns < old {
-			out[name] = e.ns
+		if old, ok := out[name]; !ok || e.bench.NsPerOp < old.NsPerOp {
+			out[name] = e.bench
 		}
 	}
 	return out, nil
@@ -116,7 +162,7 @@ func matchesAny(name string, filters []string) bool {
 }
 
 // sortedNames returns the map's keys in sorted order.
-func sortedNames(m map[string]float64) []string {
+func sortedNames(m map[string]Bench) []string {
 	names := make([]string, 0, len(m))
 	for name := range m {
 		names = append(names, name)
@@ -140,20 +186,20 @@ func geomean(ratios []float64) float64 {
 // diff is the comparison outcome for one gated benchmark.
 type diff struct {
 	name     string
-	old, new float64
+	old, new Bench
 }
 
 // compare judges the gated benches of cur against base. It returns the
-// gated per-bench diffs, the gated geomean ratio (calibrated when asked and
-// possible) and the machine-speed factor used.
-func compare(base, cur map[string]float64, filters []string, calibrate bool) (gated []diff, gatedGeo, factor float64) {
+// gated per-bench diffs, the gated geomean ns/op ratio (calibrated when
+// asked and possible) and the machine-speed factor used.
+func compare(base, cur map[string]Bench, filters []string, calibrate bool) (gated []diff, gatedGeo, factor float64) {
 	var gatedRatios, otherRatios []float64
 	for _, name := range sortedNames(cur) {
 		old, ok := base[name]
-		if !ok || old <= 0 {
+		if !ok || old.NsPerOp <= 0 {
 			continue
 		}
-		ratio := cur[name] / old
+		ratio := cur[name].NsPerOp / old.NsPerOp
 		if matchesAny(name, filters) {
 			gated = append(gated, diff{name: name, old: old, new: cur[name]})
 			gatedRatios = append(gatedRatios, ratio)
@@ -168,16 +214,50 @@ func compare(base, cur map[string]float64, filters []string, calibrate bool) (ga
 	return gated, geomean(gatedRatios) / factor, factor
 }
 
+// allocVerdict judges one gated bench's allocs/op against its baseline.
+// Exact-zero semantics: a zero-alloc baseline tolerates no allocation at
+// all — the whole point of a zero-allocation contract is that "0.4 on
+// average" means a new allocation sneaked onto the hot path. Nonzero
+// baselines get a ratio threshold. Allocation counts are per-build
+// deterministic, so no machine calibration applies. Returns a non-empty
+// reason when the bench fails the gate.
+func allocVerdict(d diff, threshold float64) string {
+	if d.old.AllocsPerOp == nil || d.new.AllocsPerOp == nil {
+		return "" // no allocation data on one side: nothing to judge
+	}
+	oldA, newA := *d.old.AllocsPerOp, *d.new.AllocsPerOp
+	if oldA == 0 {
+		if newA > 0 {
+			return fmt.Sprintf("zero-alloc bench now allocates: %g allocs/op (baseline 0)", newA)
+		}
+		return ""
+	}
+	if newA > oldA*threshold {
+		return fmt.Sprintf("allocs/op %g > baseline %g × %.2f", newA, oldA, threshold)
+	}
+	return ""
+}
+
+// fmtAllocs renders an optional allocs/op value for the report table.
+func fmtAllocs(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return strconv.FormatFloat(*v, 'f', -1, 64)
+}
+
 func run() error {
 	in := flag.String("in", "-", "bench output to read (- = stdin)")
 	baselinePath := flag.String("baseline", "testdata/bench.baseline.json", "checked-in baseline JSON")
 	outPath := flag.String("out", "", "write the full parsed results JSON here (the CI artifact)")
 	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
-	threshold := flag.Float64("threshold", 1.25, "fail when the gated geomean ratio exceeds this")
-	filter := flag.String("filter", "Datagen,Collector,Schedule,Dispatch",
+	threshold := flag.Float64("threshold", 1.25, "fail when the gated geomean ns/op ratio exceeds this")
+	allocThreshold := flag.Float64("alloc-threshold", 1.25,
+		"fail when a gated bench's allocs/op exceeds baseline × this (zero baselines must stay exactly 0)")
+	filter := flag.String("filter", "Datagen,Collector,Schedule,Dispatch,RepOverhead",
 		"comma-separated substrings selecting the gated benches")
 	calibrate := flag.Bool("calibrate", true,
-		"normalize by the non-gated benches' geomean (machine-speed factor)")
+		"normalize ns/op by the non-gated benches' geomean (machine-speed factor)")
 	flag.Parse()
 
 	src := os.Stdin
@@ -194,7 +274,7 @@ func run() error {
 		return err
 	}
 	results := Results{
-		Note:       "ns/op per benchmark (CPU suffix stripped); produced by internal/tools/benchdiff",
+		Note:       "ns/op, B/op and allocs/op per benchmark (CPU suffix stripped); produced by internal/tools/benchdiff",
 		Go:         runtime.Version(),
 		Benchmarks: cur,
 	}
@@ -249,12 +329,25 @@ func run() error {
 			}
 		}
 	}
-	fmt.Printf("%-60s %14s %14s %8s\n", "gated benchmark", "baseline ns/op", "current ns/op", "ratio")
+	var allocFails []string
+	fmt.Printf("%-60s %14s %14s %8s %12s %12s\n",
+		"gated benchmark", "baseline ns/op", "current ns/op", "ratio", "base allocs", "cur allocs")
 	for _, d := range gated {
-		fmt.Printf("%-60s %14.0f %14.0f %8.2f\n", d.name, d.old, d.new, d.new/d.old)
+		fmt.Printf("%-60s %14.0f %14.0f %8.2f %12s %12s\n",
+			d.name, d.old.NsPerOp, d.new.NsPerOp, d.new.NsPerOp/d.old.NsPerOp,
+			fmtAllocs(d.old.AllocsPerOp), fmtAllocs(d.new.AllocsPerOp))
+		if reason := allocVerdict(d, *allocThreshold); reason != "" {
+			allocFails = append(allocFails, fmt.Sprintf("%s: %s", d.name, reason))
+		}
 	}
 	fmt.Printf("\nmachine-speed factor (non-gated geomean): %.3f\n", factor)
-	fmt.Printf("gated geomean ratio (calibrated): %.3f (threshold %.2f)\n", gatedGeo, *threshold)
+	fmt.Printf("gated geomean ns/op ratio (calibrated): %.3f (threshold %.2f)\n", gatedGeo, *threshold)
+	for _, f := range allocFails {
+		fmt.Printf("benchdiff: ALLOC REGRESSION: %s\n", f)
+	}
+	if len(allocFails) > 0 {
+		return fmt.Errorf("%d gated bench(es) regressed on allocs/op", len(allocFails))
+	}
 	if gatedGeo > *threshold {
 		return fmt.Errorf("gated benches regressed: geomean ratio %.3f > %.2f", gatedGeo, *threshold)
 	}

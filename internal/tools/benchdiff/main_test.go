@@ -1,19 +1,35 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
 )
 
+// ns builds a time-only Bench map from name → ns/op — the shape most
+// comparisons need.
+func ns(m map[string]float64) map[string]Bench {
+	out := make(map[string]Bench, len(m))
+	for k, v := range m {
+		out[k] = Bench{NsPerOp: v}
+	}
+	return out
+}
+
+// withAllocs attaches an allocs/op value to a Bench.
+func withAllocs(nsPerOp, allocs float64) Bench {
+	return Bench{NsPerOp: nsPerOp, AllocsPerOp: &allocs}
+}
+
 const sampleOutput = `goos: linux
 goarch: amd64
 pkg: github.com/bdbench/bdbench/internal/datagen/corpora
 cpu: Intel(R) Xeon(R)
-BenchmarkDatagenParallel/text/workers=1-8         	      97	   2356793 ns/op	 133.64 MB/s
-BenchmarkDatagenParallel/text/workers=4-8         	     100	   1055117 ns/op	 233.74 MB/s
+BenchmarkDatagenParallel/text/workers=1-8         	      97	   2356793 ns/op	 133.64 MB/s	  524288 B/op	      12 allocs/op
+BenchmarkDatagenParallel/text/workers=4-8         	     100	   1055117 ns/op	 233.74 MB/s	  524288 B/op	      12 allocs/op
 BenchmarkSchedule/constant-8                      	    5000	    240000 ns/op
-BenchmarkCollectorParallel/sharded-8              	   10000	    120000 ns/op
+BenchmarkCollectorParallel/sharded-8              	   10000	    120000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkMapReduceWordCount-8                     	     100	  10000000 ns/op
 PASS
 ok  	github.com/bdbench/bdbench	1.5s
@@ -27,7 +43,7 @@ func TestParseBenchStripsCPUSuffix(t *testing.T) {
 	if len(got) != 5 {
 		t.Fatalf("parsed %d benches, want 5: %v", len(got), got)
 	}
-	if got["BenchmarkDatagenParallel/text/workers=1"] != 2356793 {
+	if got["BenchmarkDatagenParallel/text/workers=1"].NsPerOp != 2356793 {
 		t.Fatalf("bad ns/op: %v", got)
 	}
 	if _, ok := got["BenchmarkSchedule/constant-8"]; ok {
@@ -35,14 +51,66 @@ func TestParseBenchStripsCPUSuffix(t *testing.T) {
 	}
 }
 
-func TestParseBenchKeepsBestOfDuplicates(t *testing.T) {
-	in := "BenchmarkX-8 10 2000 ns/op\nBenchmarkX-8 10 1000 ns/op\n"
+// TestParseBenchReadsBenchmemColumns covers the -benchmem output shape,
+// including a custom MB/s metric sitting between ns/op and the allocation
+// columns, a present-zero allocs line, and a line without -benchmem at all
+// (mixed packages can produce both).
+func TestParseBenchReadsBenchmemColumns(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := got["BenchmarkDatagenParallel/text/workers=1"]
+	if dg.AllocsPerOp == nil || *dg.AllocsPerOp != 12 {
+		t.Fatalf("allocs/op not parsed past the MB/s column: %+v", dg)
+	}
+	if dg.BytesPerOp == nil || *dg.BytesPerOp != 524288 {
+		t.Fatalf("B/op not parsed: %+v", dg)
+	}
+	// Present zero is data, not absence: the zero-alloc contract depends on
+	// the distinction.
+	col := got["BenchmarkCollectorParallel/sharded"]
+	if col.AllocsPerOp == nil || *col.AllocsPerOp != 0 {
+		t.Fatalf("zero allocs/op must parse as present zero: %+v", col)
+	}
+	// No -benchmem columns → nil, so the gate knows there is nothing to judge.
+	if sched := got["BenchmarkSchedule/constant"]; sched.AllocsPerOp != nil || sched.BytesPerOp != nil {
+		t.Fatalf("absent columns must stay nil: %+v", sched)
+	}
+}
+
+// TestParseBenchBenchmemAtGOMAXPROCS1: no CPU suffix on the names, with
+// allocation columns present — both dimensions parse independently.
+func TestParseBenchBenchmemAtGOMAXPROCS1(t *testing.T) {
+	in := `BenchmarkDispatchSteadyState 	 1000000 	 150.0 ns/op 	       0 B/op 	       0 allocs/op
+BenchmarkCollectorShardScaling/writers-2 	 100 	 31322 ns/op 	      48 B/op 	       2 allocs/op
+`
 	got, err := parseBench(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkX"] != 1000 {
-		t.Fatalf("want best time 1000, got %v", got["BenchmarkX"])
+	d := got["BenchmarkDispatchSteadyState"]
+	if d.NsPerOp != 150 || d.AllocsPerOp == nil || *d.AllocsPerOp != 0 {
+		t.Fatalf("dispatch bench misparsed: %+v", d)
+	}
+	w := got["BenchmarkCollectorShardScaling/writers-2"]
+	if w.AllocsPerOp == nil || *w.AllocsPerOp != 2 {
+		t.Fatalf("writers-2 name must survive with its allocs: %+v (got %v)", w, got)
+	}
+}
+
+func TestParseBenchKeepsBestOfDuplicates(t *testing.T) {
+	in := "BenchmarkX-8 10 2000 ns/op 32 B/op 4 allocs/op\nBenchmarkX-8 10 1000 ns/op 16 B/op 2 allocs/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got["BenchmarkX"]
+	if b.NsPerOp != 1000 {
+		t.Fatalf("want best time 1000, got %v", b.NsPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 2 {
+		t.Fatalf("best run's alloc columns must win: %+v", b)
 	}
 }
 
@@ -96,20 +164,20 @@ BenchmarkMapReduceWordCount-4 	 10 	 10000000 ns/op
 }
 
 func TestCompareGatesOnGeomeanWithCalibration(t *testing.T) {
-	base := map[string]float64{
+	base := ns(map[string]float64{
 		"BenchmarkDatagenParallel/text": 1000,
 		"BenchmarkSchedule/constant":    1000,
 		"BenchmarkMapReduceWordCount":   1000,
 		"BenchmarkGraphPageRank":        1000,
-	}
+	})
 	// The machine is uniformly 2x slower; datagen benches additionally
 	// regressed 1.5x. Calibration must surface only the 1.5x.
-	cur := map[string]float64{
+	cur := ns(map[string]float64{
 		"BenchmarkDatagenParallel/text": 3000,
 		"BenchmarkSchedule/constant":    3000,
 		"BenchmarkMapReduceWordCount":   2000,
 		"BenchmarkGraphPageRank":        2000,
-	}
+	})
 	filters := []string{"Datagen", "Schedule"}
 	gated, geo, factor := compare(base, cur, filters, true)
 	if len(gated) != 2 {
@@ -129,14 +197,78 @@ func TestCompareGatesOnGeomeanWithCalibration(t *testing.T) {
 }
 
 func TestCompareIgnoresUnmatchedBenches(t *testing.T) {
-	base := map[string]float64{"BenchmarkDatagenOld": 1000}
-	cur := map[string]float64{"BenchmarkDatagenNew": 1000}
+	base := ns(map[string]float64{"BenchmarkDatagenOld": 1000})
+	cur := ns(map[string]float64{"BenchmarkDatagenNew": 1000})
 	gated, geo, _ := compare(base, cur, []string{"Datagen"}, true)
 	if len(gated) != 0 {
 		t.Fatalf("unmatched benches must not be gated: %v", gated)
 	}
 	if geo != 1.0 {
 		t.Fatalf("empty gate should geomean to 1.0, got %v", geo)
+	}
+}
+
+// TestAllocVerdictExactZero pins the zero-alloc gate's semantics: a
+// baseline of 0 allocs/op tolerates no regression at all — not even a
+// fractional average — while a nonzero baseline gets the ratio threshold,
+// and missing data on either side is never judged.
+func TestAllocVerdictExactZero(t *testing.T) {
+	zeroBase := diff{name: "BenchmarkDispatchSteadyState",
+		old: withAllocs(100, 0), new: withAllocs(100, 0.1)}
+	if allocVerdict(zeroBase, 1.25) == "" {
+		t.Fatal("0 → 0.1 allocs/op must fail the exact-zero gate")
+	}
+	stillZero := diff{name: "ok", old: withAllocs(100, 0), new: withAllocs(90, 0)}
+	if v := allocVerdict(stillZero, 1.25); v != "" {
+		t.Fatalf("0 → 0 must pass, got %q", v)
+	}
+	// Nonzero baselines use the ratio threshold, not exactness.
+	within := diff{name: "within", old: withAllocs(100, 8), new: withAllocs(100, 9)}
+	if v := allocVerdict(within, 1.25); v != "" {
+		t.Fatalf("8 → 9 allocs/op is within 1.25x, got %q", v)
+	}
+	beyond := diff{name: "beyond", old: withAllocs(100, 8), new: withAllocs(100, 11)}
+	if allocVerdict(beyond, 1.25) == "" {
+		t.Fatal("8 → 11 allocs/op exceeds 1.25x and must fail")
+	}
+	// One-sided data: nothing to judge.
+	noBase := diff{name: "nobase", old: Bench{NsPerOp: 100}, new: withAllocs(100, 5)}
+	if v := allocVerdict(noBase, 1.25); v != "" {
+		t.Fatalf("missing baseline allocs must not be judged, got %q", v)
+	}
+	noCur := diff{name: "nocur", old: withAllocs(100, 5), new: Bench{NsPerOp: 100}}
+	if v := allocVerdict(noCur, 1.25); v != "" {
+		t.Fatalf("missing current allocs must not be judged, got %q", v)
+	}
+}
+
+// TestResultsBackCompat: baselines written before the -benchmem extension
+// stored each benchmark as a bare ns/op number; they must still load, with
+// no allocation data attached.
+func TestResultsBackCompat(t *testing.T) {
+	legacy := `{"note":"old","benchmarks":{"BenchmarkSchedule/constant":240000,"BenchmarkX":1.5}}`
+	var r Results
+	if err := json.Unmarshal([]byte(legacy), &r); err != nil {
+		t.Fatalf("legacy baseline rejected: %v", err)
+	}
+	b := r.Benchmarks["BenchmarkSchedule/constant"]
+	if b.NsPerOp != 240000 || b.AllocsPerOp != nil || b.BytesPerOp != nil {
+		t.Fatalf("legacy bench misread: %+v", b)
+	}
+
+	// And the current shape round-trips, preserving present-zero allocs.
+	now := Results{Benchmarks: map[string]Bench{"BenchmarkD": withAllocs(150, 0)}}
+	raw, err := json.Marshal(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	d := back.Benchmarks["BenchmarkD"]
+	if d.NsPerOp != 150 || d.AllocsPerOp == nil || *d.AllocsPerOp != 0 {
+		t.Fatalf("round trip lost present-zero allocs: %+v (raw %s)", d, raw)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"github.com/bdbench/bdbench/internal/profiling"
 	"github.com/bdbench/bdbench/internal/scenario"
 )
 
@@ -80,6 +81,26 @@ func WithLoad(rate float64, duration time.Duration) Option {
 func WithArrival(name string) Option {
 	return func(o *scenario.Options) { loadOverride(o).Arrival = name }
 }
+
+// WithProfile runs the requested profilers around the whole five-step
+// process and writes standard pprof/trace files into dir (created if
+// missing; "" means the current directory). Modes are any of
+// ProfileModes(): "cpu" (on-CPU samples, cpu.pprof), "mem" (retained heap
+// after a forced GC, mem.pprof), "allocs" (cumulative allocation sites,
+// allocs.pprof) and "trace" (execution trace, trace.out). Load the results
+// with `go tool pprof` or `go tool trace`. Unknown modes fail Run before
+// any workload executes.
+func WithProfile(dir string, modes ...string) Option {
+	return func(o *scenario.Options) {
+		o.ProfileDir = dir
+		for _, m := range modes {
+			o.Profile = append(o.Profile, profiling.Mode(m))
+		}
+	}
+}
+
+// ProfileModes returns the supported WithProfile mode names.
+func ProfileModes() []string { return profiling.Modes() }
 
 // loadOverride lazily allocates the load override shared by WithLoad and
 // WithArrival.
