@@ -2,10 +2,18 @@
 # .github/workflows/ci.yml); the bench targets exist so a local run leaves
 # the same artifacts the bench job uploads.
 
+# bench pipes through tee under pipefail, which is a bashism; dash (the
+# default /bin/sh on Debian-family hosts) rejects `set -o pipefail`.
+SHELL := /bin/bash
+
 GO ?= go
 BENCHTIME ?= 100ms
 BENCH_TXT := bench.txt
-BENCH_DATED := BENCH_$(shell date +%F).json
+# BENCH_STAMP names the trajectory snapshot; override it to take several
+# snapshots on one day (make bench BENCH_STAMP=2026-08-08b).
+BENCH_STAMP ?= $(shell date +%F)
+BENCH_DATED := BENCH_$(BENCH_STAMP).json
+BENCH_BLOB := BENCH_$(BENCH_STAMP).blob
 
 .PHONY: build test race bench bench-baseline fmt vet
 
@@ -18,17 +26,18 @@ test:
 race:
 	$(GO) test -race ./internal/datagen/... ./internal/engine/ ./internal/loadgen/ \
 		./internal/suites/ ./internal/scenario/ ./internal/metrics/ ./internal/stats/ \
-		./internal/stacks/...
+		./internal/runstore/ ./internal/stacks/...
 
 # bench runs every benchmark with -benchmem, gates the result against the
 # checked-in baseline (ns/op geomean + exact-zero allocs/op), and writes a
-# dated BENCH_<date>.json at the repo root — the local performance
-# trajectory, one snapshot per day it is run.
+# dated BENCH_<stamp>.json plus a BENCH_<stamp>.blob run artifact at the
+# repo root — the local performance trajectory. Diff two snapshots with
+# `go run ./cmd/bdbench compare BENCH_a.blob BENCH_b.blob`.
 bench:
 	set -o pipefail; \
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) -timeout 25m ./... | tee $(BENCH_TXT)
 	$(GO) run ./internal/tools/benchdiff -in $(BENCH_TXT) \
-		-baseline testdata/bench.baseline.json -out $(BENCH_DATED)
+		-baseline testdata/bench.baseline.json -out $(BENCH_DATED) -out-blob $(BENCH_BLOB)
 
 # bench-baseline refreshes the checked-in baseline after an intentional
 # performance change. Review the diff before committing: a zero that became

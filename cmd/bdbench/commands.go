@@ -324,6 +324,8 @@ func cmdRun(args []string) error {
 	suiteName := fs.String("suite", "BigDataBench", "suite to run (ignored when -spec is given)")
 	format := fs.String("format", "text", "output format: "+strings.Join(bdbench.Formats(), "|"))
 	validate := fs.Bool("validate", false, "validate and print the normalized scenario without running it")
+	out := fs.String("out", "", "write the run as a columnar artifact (read back with show/compare)")
+	samples := fs.Int("samples", 0, "raw latency samples kept per op cell (0 = default; needs -out to persist)")
 	sf := addScenarioFlags(fs)
 	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -360,12 +362,22 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	out, runErr := bdbench.Run(context.Background(), sc, append(sf.options(), popts...)...)
-	if out == nil {
+	opts := append(sf.options(), popts...)
+	if *out != "" {
+		opts = append(opts, bdbench.WithRunOutput(*out))
+	}
+	if *samples > 0 {
+		opts = append(opts, bdbench.WithSamples(*samples))
+	}
+	outcome, runErr := bdbench.Run(context.Background(), sc, opts...)
+	if outcome == nil {
 		return runErr
 	}
-	if err := reporter.Report(os.Stdout, out); err != nil {
+	if err := reporter.Report(os.Stdout, outcome); err != nil {
 		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "run: artifact written to %s\n", *out)
 	}
 	return runErr
 }
@@ -388,6 +400,7 @@ func cmdLoadcurve(args []string) error {
 	warmup := fs.Int("warmup", 1, "unmeasured closed-loop warmup runs before each window")
 	format := fs.String("format", "text", "output format: "+strings.Join(bdbench.Formats(), "|"))
 	progress := fs.Bool("progress", false, "stream engine progress to stderr")
+	out := fs.String("out", "", "write the sweep as a columnar artifact with per-rate latency streams")
 	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -409,6 +422,7 @@ func cmdLoadcurve(args []string) error {
 		return err
 	}
 	defer prof.Stop()
+	var sweeps []*bdbench.Outcome
 	for _, rate := range swept {
 		sc := bdbench.Scenario{
 			Name:    fmt.Sprintf("loadcurve %s @ %g/s", *workload, rate),
@@ -425,18 +439,23 @@ func cmdLoadcurve(args []string) error {
 		if *progress {
 			opts = append(opts, bdbench.WithEvents(printEvent))
 		}
-		out, runErr := bdbench.Run(context.Background(), sc, opts...)
-		if out == nil {
+		if *out != "" {
+			// The artifact's series are the raw streams; capture them.
+			opts = append(opts, bdbench.WithSamples(bdbench.DefaultSampleCapacity))
+		}
+		res, runErr := bdbench.Run(context.Background(), sc, opts...)
+		if res == nil {
 			return runErr
 		}
-		if len(out.Results) == 0 || out.Results[0].Load == nil {
+		if len(res.Results) == 0 || res.Results[0].Load == nil {
 			return fmt.Errorf("loadcurve: run at %g/s produced no load statistics", rate)
 		}
 		// A saturated point may report per-operation errors; that is part of
 		// the curve (the errs column), not a reason to stop the sweep.
-		curve.Points = append(curve.Points, bdbench.LoadPointFrom(out.Results[0].Load))
+		curve.Points = append(curve.Points, bdbench.LoadPointFrom(res.Results[0].Load))
+		sweeps = append(sweeps, res)
 		fmt.Fprintf(os.Stderr, "loadcurve: %s @ %g/s done (achieved %.0f/s, p99 %v)\n",
-			*workload, rate, out.Results[0].Load.Achieved, out.Results[0].Load.Latency.P99)
+			*workload, rate, res.Results[0].Load.Achieved, res.Results[0].Load.Latency.P99)
 	}
 	// The sweep is the measured region; stop (and flush the heap profiles)
 	// before rendering. The deferred Stop above only covers error exits and
@@ -449,6 +468,16 @@ func cmdLoadcurve(args []string) error {
 		return err
 	}
 	fmt.Print(rendered)
+	if *out != "" {
+		run, err := bdbench.LoadCurveArtifact(curve, sweeps)
+		if err != nil {
+			return err
+		}
+		if err := bdbench.WriteRun(*out, run); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadcurve: artifact written to %s\n", *out)
+	}
 	return nil
 }
 

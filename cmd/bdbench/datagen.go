@@ -22,6 +22,7 @@ func cmdDatagen(args []string) error {
 	workers := fs.Int("workers", 0, "chunk workers (0 = one per CPU); output bytes are identical at any setting")
 	seed := fs.Uint64("seed", 42, "corpus seed; chunk RNGs derive from (seed, chunk index)")
 	format := fs.String("format", "text", "output format: text or json")
+	out := fs.String("out", "", "write the generation as a run artifact carrying the corpus digest")
 	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +44,16 @@ func cmdDatagen(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *out != "" {
+		run, err := bdbench.CorpusArtifact(stat)
+		if err != nil {
+			return err
+		}
+		if err := bdbench.WriteRun(*out, run); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "datagen: artifact written to %s\n", *out)
 	}
 	if *format == "json" {
 		enc := json.NewEncoder(os.Stdout)

@@ -13,6 +13,9 @@
 //	bdbench run -rate R         execute open-loop at an offered rate
 //	bdbench datagen             run one corpus generator, print timing+digest
 //	bdbench loadcurve           sweep offered rates, print the latency curve
+//	bdbench run -out run.blob   additionally persist the run as an artifact
+//	bdbench show run.blob       re-render a saved run artifact
+//	bdbench compare a.blob b.blob  diff two artifacts; exit nonzero on regression
 //	bdbench suites              list available suite emulations
 //	bdbench workloads           list the registered workload inventory
 //	bdbench prescriptions       list the prescription repository
@@ -54,6 +57,10 @@ func main() {
 		err = cmdDatagen(args)
 	case "loadcurve":
 		err = cmdLoadcurve(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "show":
+		err = cmdShow(args)
 	case "suites":
 		err = cmdSuites(args)
 	case "workloads":
@@ -92,6 +99,13 @@ commands:
                   digest is identical at any -workers value
   loadcurve       sweep open-loop offered rates over one workload and print
                   the throughput-vs-latency curve (p50/p95/p99 per rate)
+  show            re-render a saved run artifact (-format text|markdown|json,
+                  -meta for the identity line)
+  compare         diff two saved run artifacts: workload throughput (or
+                  achieved-rate) deltas plus latency quantile shifts
+                  recomputed from the raw streams; a regression exits
+                  nonzero (-threshold, -tput-threshold, -min-delta,
+                  -min-samples, -quantiles, -format)
   suites          list the emulated benchmark suites
   workloads       list the registered workload inventory
   prescriptions   list the reusable prescription repository
@@ -103,6 +117,12 @@ run selection:
   -suite S          shorthand for a one-entry scenario selecting suite S
   -format F         output format: text, markdown or json
   -validate         validate and print the normalized scenario, then exit
+  -out F.blob       persist the run as a versioned columnar artifact: full
+                    per-op latency streams plus spec digest, seed and
+                    environment (see docs/RESULTS.md); read it back with
+                    show, diff it with compare (loadcurve takes -out too)
+  -samples N        raw latency samples kept per op cell per repetition
+                    (default 65536; extra observations count as dropped)
 
 engine knobs (run, figure1, experiments — shared):
   -scale N          workload input scale

@@ -53,6 +53,11 @@ type Config struct {
 	// OnEvent, when set, receives progress events. Calls are serialized by
 	// the engine, so the callback needs no locking of its own.
 	OnEvent func(Event)
+	// SampleCap, when positive, enables raw per-op latency capture on every
+	// run's collector with buffers of this many samples per operation cell
+	// (metrics.EnableSampling). The captured streams surface as
+	// Result.Samples and become the runstore blob's series.
+	SampleCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -220,7 +225,7 @@ func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event))
 	emit(Event{Kind: EventTaskStart, Workload: res.Workload, Task: idx, Rep: -1})
 
 	for i := 0; i < cfg.Warmup; i++ {
-		rep := runOnce(ctx, t, cfg.Timeout)
+		rep := runOnce(ctx, t, cfg, false)
 		emit(Event{Kind: EventRepDone, Workload: res.Workload, Task: idx, Rep: -1,
 			Warmup: true, Err: rep.Err, Elapsed: rep.Result.Elapsed})
 		if ctx.Err() != nil {
@@ -239,7 +244,7 @@ func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event))
 	res.Reps = make([]Rep, 0, reps)
 	var throughput, elapsed stats.Summary
 	for r := 0; r < reps; r++ {
-		rep := runOnce(ctx, t, cfg.Timeout)
+		rep := runOnce(ctx, t, cfg, true)
 		res.Reps = append(res.Reps, rep)
 		emit(Event{Kind: EventRepDone, Workload: res.Workload, Task: idx, Rep: r,
 			Err: rep.Err, Elapsed: rep.Result.Elapsed})
@@ -289,6 +294,9 @@ func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event))
 // repetition.
 func runOpenLoop(ctx context.Context, idx int, t Task, cfg Config, emit func(Event), res TaskResult, t0 time.Time) TaskResult {
 	c := metrics.NewCollector(t.Workload.Name())
+	if cfg.SampleCap > 0 {
+		c.EnableSampling(cfg.SampleCap)
+	}
 	opts := *t.Load
 	opts.Rec = c
 	c.Start()
@@ -334,14 +342,20 @@ func runOpenLoop(ctx context.Context, idx int, t Task, cfg Config, emit func(Eve
 // the repetition is reported with the context error immediately; the
 // workload goroutine observes the same context cooperatively and exits on
 // its own (the collector is concurrency-safe, so late writes are harmless).
-func runOnce(ctx context.Context, t Task, timeout time.Duration) Rep {
+// Sample capture (measured reps only — warmup is discarded, so capturing it
+// would only burn buffer memory) is enabled before the workload sees the
+// collector, so every cell it builds carries a buffer.
+func runOnce(ctx context.Context, t Task, cfg Config, measured bool) Rep {
 	runCtx, cancel := ctx, func() {}
-	if timeout > 0 {
-		runCtx, cancel = context.WithTimeout(ctx, timeout)
+	if cfg.Timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 	}
 	defer cancel()
 
 	c := metrics.NewCollector(t.Workload.Name())
+	if measured && cfg.SampleCap > 0 {
+		c.EnableSampling(cfg.SampleCap)
+	}
 	if err := runCtx.Err(); err != nil {
 		// Already expired or cancelled: fail fast without starting the run.
 		return Rep{Result: c.Snapshot(), Err: err}

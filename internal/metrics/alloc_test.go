@@ -71,6 +71,43 @@ func TestOpRefZeroAlloc(t *testing.T) {
 	})
 }
 
+// TestOpRefSampledZeroAlloc: the record path must stay allocation-free with
+// raw sample capture enabled — the buffer is preallocated when the cell is
+// built, so recording is two atomic stores on top of the histogram adds.
+// This is the tentpole's contract: always-on capture without becoming the GC
+// pressure the benchmark is measuring.
+func TestOpRefSampledZeroAlloc(t *testing.T) {
+	c := NewCollector("wl")
+	c.EnableSampling(1 << 16)
+	op := c.Op("op")
+	ctr := c.CounterRef("records")
+	start := time.Now()
+	assertZeroAllocs(t, "OpRef.Observe (sampling on)", func() {
+		op.Observe(time.Microsecond)
+		ctr.Add(1)
+	})
+	assertZeroAllocs(t, "OpRef.ObserveSince (sampling on)", func() {
+		op.ObserveSince(start)
+	})
+	assertZeroAllocs(t, "Shard.ObserveLatency (sampling on)", func() {
+		c.ObserveLatency("op", time.Microsecond)
+	})
+}
+
+// TestOpRefSampledZeroAllocAfterOverflow: a full buffer drops new samples on
+// the claim counter alone — still zero allocations.
+func TestOpRefSampledZeroAllocAfterOverflow(t *testing.T) {
+	c := NewCollector("wl")
+	c.EnableSampling(4)
+	op := c.Op("op")
+	for i := 0; i < 8; i++ {
+		op.Observe(time.Microsecond) // overflow the 4-slot buffer
+	}
+	assertZeroAllocs(t, "OpRef.Observe (buffer full)", func() {
+		op.Observe(time.Microsecond)
+	})
+}
+
 // TestOpRefResolution covers the three OpRefOf paths: direct handle from a
 // minter, string fallback for a foreign Recorder, no-op for nil.
 func TestOpRefResolution(t *testing.T) {

@@ -79,6 +79,9 @@ type Collector struct {
 	shards  []*Shard
 	def     *Shard
 	dgen    *Shard
+	// sampling, when set (EnableSampling), is handed to every shard so raw
+	// latency streams are captured alongside the histograms.
+	sampling *samplingState
 }
 
 // NewCollector returns a collector for the named workload.
@@ -96,6 +99,7 @@ func (c *Collector) Name() string { return c.name }
 func (c *Collector) Shard() *Shard {
 	s := NewShard()
 	c.mu.Lock()
+	s.sampling = c.sampling
 	c.shards = append(c.shards, s)
 	c.mu.Unlock()
 	return s
@@ -109,6 +113,7 @@ func (c *Collector) SubstrateShard() *Shard {
 	s := NewShard()
 	s.substrate = true
 	c.mu.Lock()
+	s.sampling = c.sampling
 	c.shards = append(c.shards, s)
 	c.mu.Unlock()
 	return s
@@ -146,6 +151,7 @@ func (c *Collector) RecordDatagen(d time.Duration, items int64) {
 	if c.dgen == nil {
 		s := NewShard()
 		s.substrate = true
+		s.sampling = c.sampling
 		c.dgen = s
 		c.shards = append(c.shards, s)
 	}
@@ -258,6 +264,10 @@ type Result struct {
 	// no model was applied.
 	EnergyJoules float64
 	CostUSD      float64
+	// Samples holds the raw per-op latency streams when the collector had
+	// sampling enabled (EnableSampling), nil otherwise. Excluded from JSON:
+	// reports summarize, the runstore blob is where streams persist.
+	Samples []OpSamples `json:"-"`
 }
 
 // Snapshot freezes the collector into a Result, merging every shard's
@@ -293,7 +303,7 @@ func (c *Collector) Snapshot() Result {
 		s.drainCounters(counters)
 	}
 
-	r := Result{Name: c.name, Elapsed: elapsed, Counters: counters}
+	r := Result{Name: c.name, Elapsed: elapsed, Counters: counters, Samples: drainAllSamples(shards)}
 	var total uint64
 	opSet := make(map[string]bool, len(userLat)+len(subLat))
 	for op := range userLat {

@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSamplingDisabledByDefault(t *testing.T) {
+	c := NewCollector("wl")
+	c.ObserveLatency("op", time.Millisecond)
+	c.SetElapsed(time.Second)
+	if r := c.Snapshot(); r.Samples != nil {
+		t.Fatalf("Samples captured without EnableSampling: %+v", r.Samples)
+	}
+	if c.SamplingEnabled() {
+		t.Fatal("SamplingEnabled true before EnableSampling")
+	}
+}
+
+func TestSamplingCapturesAllPaths(t *testing.T) {
+	c := NewCollector("wl")
+	c.EnableSampling(64)
+	if !c.SamplingEnabled() {
+		t.Fatal("SamplingEnabled false after EnableSampling")
+	}
+
+	// Every record path: string-keyed, OpRef, private shard, substrate
+	// shard, datagen.
+	c.ObserveLatency("read", time.Millisecond)
+	c.Op("read").Observe(2 * time.Millisecond)
+	sh := c.Shard()
+	sh.ObserveLatency("read", 3*time.Millisecond)
+	sub := c.SubstrateShard()
+	sub.Op("echo").Observe(4 * time.Millisecond)
+	c.RecordDatagen(5*time.Millisecond, 10)
+
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	byKey := map[string]OpSamples{}
+	for _, s := range r.Samples {
+		byKey[fmt.Sprintf("%s/%v", s.Op, s.Substrate)] = s
+	}
+	if s := byKey["read/false"]; len(s.Values) != 3 {
+		t.Errorf("read stream: %d samples, want 3 (merged across shards): %+v", len(s.Values), s)
+	}
+	if s := byKey["echo/true"]; len(s.Values) != 1 || s.Values[0] != int64(4*time.Millisecond) {
+		t.Errorf("substrate echo stream: %+v", s)
+	}
+	if s := byKey["datagen/true"]; len(s.Values) != 1 {
+		t.Errorf("datagen stream: %+v", s)
+	}
+	for _, s := range r.Samples {
+		if len(s.Offsets) != len(s.Values) {
+			t.Errorf("%s: %d offsets vs %d values", s.Op, len(s.Offsets), len(s.Values))
+		}
+		if s.Dropped != 0 {
+			t.Errorf("%s: %d dropped with roomy buffers", s.Op, s.Dropped)
+		}
+	}
+}
+
+func TestSamplingDropsAtCapacityExactly(t *testing.T) {
+	c := NewCollector("wl")
+	c.EnableSampling(8)
+	op := c.Op("op")
+	for i := 0; i < 20; i++ {
+		op.Observe(time.Duration(i+1) * time.Microsecond)
+	}
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	if len(r.Samples) != 1 {
+		t.Fatalf("streams: %+v", r.Samples)
+	}
+	s := r.Samples[0]
+	if len(s.Values) != 8 || s.Dropped != 12 {
+		t.Fatalf("capacity 8, 20 observations: %d kept, %d dropped", len(s.Values), s.Dropped)
+	}
+	// The first capacity observations are the ones kept, in order.
+	for i, v := range s.Values {
+		if v != int64(time.Duration(i+1)*time.Microsecond) {
+			t.Fatalf("sample %d: %d", i, v)
+		}
+	}
+	// Histogram still saw every observation.
+	if r.Ops[0].Count != 20 {
+		t.Fatalf("histogram count %d, want 20", r.Ops[0].Count)
+	}
+}
+
+func TestSamplingDeterministicAcrossShardCounts(t *testing.T) {
+	// The same logical observations through 1, 2 and 8 shards, under a
+	// frozen clock, must drain to the same multiset of samples — the
+	// property that makes blob digests worker-count independent.
+	run := func(shardCount int) []OpSamples {
+		c := NewCollector("wl")
+		t0 := time.Unix(0, 0)
+		c.EnableSamplingClock(1024, t0, func() time.Time { return t0 })
+		var wg sync.WaitGroup
+		for w := 0; w < shardCount; w++ {
+			sh := c.Shard()
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				op := sh.Op("op")
+				for i := w; i < 256; i += shardCount {
+					op.Observe(time.Duration(i+1) * time.Microsecond)
+				}
+			}(w)
+		}
+		wg.Wait()
+		c.SetElapsed(time.Second)
+		return c.Snapshot().Samples
+	}
+	canon := func(ss []OpSamples) []OpSamples {
+		for i := range ss {
+			s := &ss[i]
+			idx := make([]int, len(s.Values))
+			for j := range idx {
+				idx[j] = j
+			}
+			sort.Slice(idx, func(a, b int) bool { return s.Values[idx[a]] < s.Values[idx[b]] })
+			vals := make([]int64, len(idx))
+			offs := make([]int64, len(idx))
+			for j, k := range idx {
+				vals[j], offs[j] = s.Values[k], s.Offsets[k]
+			}
+			s.Values, s.Offsets = vals, offs
+		}
+		return ss
+	}
+	want := canon(run(1))
+	for _, n := range []int{2, 8} {
+		got := canon(run(n))
+		if len(got) != len(want) {
+			t.Fatalf("%d shards: %d streams, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Op != want[i].Op || len(got[i].Values) != len(want[i].Values) {
+				t.Fatalf("%d shards: stream %d mismatch", n, i)
+			}
+			for j := range got[i].Values {
+				if got[i].Values[j] != want[i].Values[j] || got[i].Offsets[j] != want[i].Offsets[j] {
+					t.Fatalf("%d shards: sample %d/%d differs", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSamplingConcurrentSnapshot(t *testing.T) {
+	// Snapshot while observations are in flight must be safe (race step
+	// runs this under -race) and never report more kept samples than
+	// capacity.
+	c := NewCollector("wl")
+	c.EnableSampling(128)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		sh := c.Shard()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			op := sh.Op("op")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					op.Observe(time.Microsecond)
+				}
+			}
+		}()
+	}
+	c.Start()
+	for i := 0; i < 50; i++ {
+		r := c.Snapshot()
+		for _, s := range r.Samples {
+			if len(s.Values) > 4*128 {
+				t.Errorf("stream overflow: %d samples", len(s.Values))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSamplingOffsetsUseInjectedClock(t *testing.T) {
+	c := NewCollector("wl")
+	t0 := time.Unix(100, 0)
+	tick := int64(0)
+	c.EnableSamplingClock(16, t0, func() time.Time {
+		tick++
+		return t0.Add(time.Duration(tick) * time.Millisecond)
+	})
+	op := c.Op("op")
+	op.Observe(time.Microsecond)
+	op.Observe(time.Microsecond)
+	c.SetElapsed(time.Second)
+	r := c.Snapshot()
+	s := r.Samples[0]
+	if s.Offsets[0] != int64(time.Millisecond) || s.Offsets[1] != int64(2*time.Millisecond) {
+		t.Fatalf("offsets %v, want 1ms/2ms", s.Offsets)
+	}
+}
+
+func TestSamplingDefaultCapacity(t *testing.T) {
+	c := NewCollector("wl")
+	c.EnableSampling(0)
+	op := c.Op("op")
+	op.Observe(time.Microsecond)
+	c.SetElapsed(time.Second)
+	if r := c.Snapshot(); len(r.Samples) != 1 || len(r.Samples[0].Values) != 1 {
+		t.Fatalf("default-capacity capture lost the observation: %+v", r.Samples)
+	}
+}

@@ -73,7 +73,7 @@ func ObserveSince(rec Recorder, op string, start time.Time) {
 // pressure it is supposed to measure. The zero OpRef is a no-op, mirroring
 // the nil-Recorder idiom of StartTimer/ObserveSince.
 type OpRef struct {
-	h *stats.AtomicLatencyHistogram
+	cell *opCell
 	// rec and name are the fallback path for Recorder implementations that
 	// cannot mint direct histogram handles (custom recorders outside this
 	// package); nil for refs minted by Shard/Collector.
@@ -84,8 +84,8 @@ type OpRef struct {
 // Observe records one latency under the ref's operation label. Safe for
 // concurrent use; a no-op on the zero ref.
 func (r OpRef) Observe(d time.Duration) {
-	if r.h != nil {
-		r.h.Observe(d)
+	if c := r.cell; c != nil {
+		c.observe(d)
 		return
 	}
 	if r.rec != nil {
@@ -96,8 +96,8 @@ func (r OpRef) Observe(d time.Duration) {
 // ObserveSince records the time elapsed since start — the OpRef twin of
 // ObserveSince(rec, op, start).
 func (r OpRef) ObserveSince(start time.Time) {
-	if r.h != nil {
-		r.h.Observe(time.Since(start))
+	if c := r.cell; c != nil {
+		c.observe(time.Since(start))
 		return
 	}
 	if r.rec != nil {
@@ -106,7 +106,7 @@ func (r OpRef) ObserveSince(start time.Time) {
 }
 
 // Valid reports whether observations through the ref are recorded anywhere.
-func (r OpRef) Valid() bool { return r.h != nil || r.rec != nil }
+func (r OpRef) Valid() bool { return r.cell != nil || r.rec != nil }
 
 // CounterRef is the counter twin of OpRef: a pre-resolved handle to one
 // named counter cell. The zero CounterRef is a no-op.
@@ -167,9 +167,28 @@ func CounterRefOf(rec Recorder, name string) CounterRef {
 // label copies the map under the shard's mutex and atomically swaps the
 // pointer, so the lock-free fast path only ever reads frozen maps.
 type (
-	latMap map[string]*stats.AtomicLatencyHistogram
+	latMap map[string]*opCell
 	ctrMap map[string]*atomic.Int64
 )
+
+// opCell is one operation label's recording state: the always-on atomic
+// histogram plus, when sampling is enabled on the shard, a preallocated raw
+// sample buffer. One pointer dereference reaches both, so the OpRef hot path
+// stays a single indirection whether or not capture is on.
+type opCell struct {
+	hist stats.AtomicLatencyHistogram
+	buf  *sampleBuf // nil unless sampling was enabled when the cell was built
+}
+
+// observe is the record hot path: a handful of atomic adds, plus two atomic
+// stores into the preallocated sample buffer when capture is on. It must not
+// allocate (TestOpRefSampledZeroAlloc holds it to that).
+func (c *opCell) observe(d time.Duration) {
+	c.hist.Observe(d)
+	if b := c.buf; b != nil {
+		b.record(d)
+	}
+}
 
 // Shard is a contention-free recording handle. Each worker goroutine of a
 // parallel stack obtains its own shard (Collector.Shard or ShardOf), so hot
@@ -186,6 +205,10 @@ type Shard struct {
 	// substrate marks stack-internal shards whose latency observations are
 	// kept out of the Throughput total (see SubstrateShardOf).
 	substrate bool
+	// sampling, when non-nil, makes every operation cell built from now on
+	// carry a raw sample buffer (see Collector.EnableSampling). Set before
+	// the shard's first observation; cells built earlier have no buffer.
+	sampling *samplingState
 }
 
 // NewShard returns a free-standing shard, unattached to any collector.
@@ -196,22 +219,24 @@ func NewShard() *Shard { return &Shard{} }
 // label ("read", "update", ...). Lock-free once the label exists.
 func (s *Shard) ObserveLatency(op string, d time.Duration) {
 	if m := s.lat.Load(); m != nil {
-		if h, ok := (*m)[op]; ok {
-			h.Observe(d)
+		if c, ok := (*m)[op]; ok {
+			c.observe(d)
 			return
 		}
 	}
-	s.latSlow(op).Observe(d)
+	s.latSlow(op).observe(d)
 }
 
-// latSlow installs the histogram for a new operation label (copy-on-write).
-func (s *Shard) latSlow(op string) *stats.AtomicLatencyHistogram {
+// latSlow installs the cell for a new operation label (copy-on-write). This
+// is the one place sample buffers are allocated, so enabling capture never
+// adds an allocation to the record fast path.
+func (s *Shard) latSlow(op string) *opCell {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.lat.Load()
 	if old != nil {
-		if h, ok := (*old)[op]; ok {
-			return h
+		if c, ok := (*old)[op]; ok {
+			return c
 		}
 	}
 	next := make(latMap, 1+lenOf(old))
@@ -220,22 +245,25 @@ func (s *Shard) latSlow(op string) *stats.AtomicLatencyHistogram {
 			next[k] = v
 		}
 	}
-	h := &stats.AtomicLatencyHistogram{}
-	next[op] = h
+	c := &opCell{}
+	if s.sampling != nil {
+		c.buf = newSampleBuf(s.sampling)
+	}
+	next[op] = c
 	s.lat.Store(&next)
-	return h
+	return c
 }
 
 // Op mints a pre-resolved handle for the operation label, installing its
-// histogram if this is the label's first use. Hot loops resolve once, then
+// cell if this is the label's first use. Hot loops resolve once, then
 // observe lock-free through the handle with no per-call map lookup.
 func (s *Shard) Op(name string) OpRef {
 	if m := s.lat.Load(); m != nil {
-		if h, ok := (*m)[name]; ok {
-			return OpRef{h: h}
+		if c, ok := (*m)[name]; ok {
+			return OpRef{cell: c}
 		}
 	}
-	return OpRef{h: s.latSlow(name)}
+	return OpRef{cell: s.latSlow(name)}
 }
 
 // CounterRef mints a pre-resolved handle for the named counter cell,
@@ -308,8 +336,8 @@ func (s *Shard) drainLatencies(dst map[string]*stats.LatencyHistogram) {
 	if m == nil {
 		return
 	}
-	for op, ah := range *m {
-		snap := ah.Snapshot()
+	for op, c := range *m {
+		snap := c.hist.Snapshot()
 		if h, ok := dst[op]; ok {
 			h.Merge(snap)
 		} else {

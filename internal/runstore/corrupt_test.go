@@ -1,0 +1,117 @@
+package runstore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// Corrupt-input contract: truncation, bit flips and wrong versions are
+// errors, never panics, and each failure mode names itself.
+
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	raw, err := Encode(sampleRun())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return raw
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	raw := encodeSample(t)
+	for _, n := range []int{0, 1, 4, headerSize - 1, headerSize, headerSize + trailerSize, len(raw) / 2, len(raw) - 1} {
+		if n > len(raw) {
+			continue
+		}
+		if _, err := Decode(raw[:n]); err == nil {
+			t.Errorf("Decode of %d/%d bytes succeeded, want error", n, len(raw))
+		}
+	}
+}
+
+func TestDecodeBitFlips(t *testing.T) {
+	raw := encodeSample(t)
+	// Flip one bit in every byte position (stride to keep it quick for large
+	// blobs) — the CRC or a structural check must catch each one.
+	stride := 1
+	if len(raw) > 4096 {
+		stride = len(raw) / 4096
+	}
+	for i := 0; i < len(raw); i += stride {
+		mut := make([]byte, len(raw))
+		copy(mut, raw)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded cleanly", i)
+		}
+	}
+}
+
+func TestDecodeWrongVersion(t *testing.T) {
+	raw := encodeSample(t)
+	mut := make([]byte, len(raw))
+	copy(mut, raw)
+	binary.LittleEndian.PutUint16(mut[4:6], Version+1)
+	// Re-seal the CRC so the version check itself is what fires.
+	body := mut[:len(mut)-trailerSize]
+	binary.LittleEndian.PutUint32(mut[len(mut)-trailerSize:], crcOf(body))
+	_, err := Decode(mut)
+	if err == nil {
+		t.Fatal("wrong-version blob decoded cleanly")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong-version error does not mention version: %v", err)
+	}
+}
+
+func TestDecodeWrongMagic(t *testing.T) {
+	raw := encodeSample(t)
+	mut := make([]byte, len(raw))
+	copy(mut, raw)
+	copy(mut, "NOPE")
+	if _, err := Decode(mut); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("wrong-magic decode: %v", err)
+	}
+}
+
+func TestDecodeLyingHeader(t *testing.T) {
+	raw := encodeSample(t)
+	for _, field := range []struct {
+		name string
+		off  int
+	}{
+		{"metaLen", 8}, {"nSeries", 12}, {"namesLen", 16}, {"colsLen", 20},
+	} {
+		mut := make([]byte, len(raw))
+		copy(mut, raw)
+		binary.LittleEndian.PutUint32(mut[field.off:], binary.LittleEndian.Uint32(mut[field.off:])+1)
+		body := mut[:len(mut)-trailerSize]
+		binary.LittleEndian.PutUint32(mut[len(mut)-trailerSize:], crcOf(body))
+		if _, err := Decode(mut); err == nil {
+			t.Errorf("inflated %s decoded cleanly", field.name)
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, raw := range [][]byte{
+		nil,
+		{},
+		[]byte("not a blob at all, just some text that is long enough to pass size checks maybe"),
+		make([]byte, headerSize+trailerSize), // all zeros
+	} {
+		if _, err := Decode(raw); err == nil {
+			t.Errorf("garbage input %q decoded cleanly", raw)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/definitely/run.blob"); err == nil {
+		t.Error("ReadFile of missing path succeeded")
+	}
+}

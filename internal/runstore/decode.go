@@ -1,0 +1,167 @@
+package runstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Decode parses a run blob. It is the trust boundary of the format: every
+// length, offset and count is validated against the buffer before use, the
+// CRC32 trailer rejects torn and bit-flipped files, and a wrong version is
+// an explicit error — malformed input of any shape returns an error, never
+// a panic (FuzzDecode holds it to that).
+func Decode(raw []byte) (*Run, error) {
+	if len(raw) < headerSize+trailerSize {
+		return nil, fmt.Errorf("runstore: blob too short (%d bytes)", len(raw))
+	}
+	if [4]byte(raw[:4]) != magic {
+		return nil, fmt.Errorf("runstore: bad magic %q (not a run blob)", raw[:4])
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:6]); v != Version {
+		return nil, fmt.Errorf("runstore: unsupported format version %d (this reader handles %d)", v, Version)
+	}
+	body, trailer := raw[:len(raw)-trailerSize], raw[len(raw)-trailerSize:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("runstore: checksum mismatch (blob corrupt: %08x != %08x)", got, want)
+	}
+
+	metaLen := int64(binary.LittleEndian.Uint32(raw[8:12]))
+	nSeries := int64(binary.LittleEndian.Uint32(raw[12:16]))
+	namesLen := int64(binary.LittleEndian.Uint32(raw[16:20]))
+	colsLen := int64(binary.LittleEndian.Uint32(raw[20:24]))
+	want := headerSize + metaLen + nSeries*indexEntrySize + namesLen + colsLen + trailerSize
+	if int64(len(raw)) != want {
+		return nil, fmt.Errorf("runstore: blob length %d does not match header (want %d)", len(raw), want)
+	}
+
+	metaStart := int64(headerSize)
+	indexStart := metaStart + metaLen
+	namesStart := indexStart + nSeries*indexEntrySize
+	colsStart := namesStart + namesLen
+
+	r := &Run{}
+	if err := json.Unmarshal(raw[metaStart:indexStart], &r.Meta); err != nil {
+		return nil, fmt.Errorf("runstore: decode meta: %w", err)
+	}
+	names := raw[namesStart:colsStart]
+	cols := raw[colsStart : colsStart+colsLen]
+
+	name := func(off uint32, n uint16) (string, error) {
+		end := int64(off) + int64(n)
+		if end > int64(len(names)) {
+			return "", fmt.Errorf("runstore: name [%d:%d] outside names section (%d bytes)", off, end, len(names))
+		}
+		return string(names[off:end]), nil
+	}
+	column := func(off, n uint32) ([]byte, error) {
+		end := int64(off) + int64(n)
+		if end > int64(len(cols)) {
+			return nil, fmt.Errorf("runstore: column [%d:%d] outside columns section (%d bytes)", off, end, len(cols))
+		}
+		return cols[off:end], nil
+	}
+
+	if nSeries > 0 {
+		r.Series = make([]Series, 0, min(nSeries, 4096))
+	}
+	for i := int64(0); i < nSeries; i++ {
+		e := raw[indexStart+i*indexEntrySize:]
+		var s Series
+		var err error
+		if s.Workload, err = name(binary.LittleEndian.Uint32(e[0:4]), binary.LittleEndian.Uint16(e[4:6])); err != nil {
+			return nil, err
+		}
+		s.Substrate = binary.LittleEndian.Uint16(e[6:8])&flagSubstrate != 0
+		if s.Op, err = name(binary.LittleEndian.Uint32(e[8:12]), binary.LittleEndian.Uint16(e[12:14])); err != nil {
+			return nil, err
+		}
+		count := binary.LittleEndian.Uint32(e[16:20])
+		s.Dropped = uint64(binary.LittleEndian.Uint32(e[20:24]))
+		ts, err := column(binary.LittleEndian.Uint32(e[24:28]), binary.LittleEndian.Uint32(e[28:32]))
+		if err != nil {
+			return nil, err
+		}
+		vals, err := column(binary.LittleEndian.Uint32(e[32:36]), binary.LittleEndian.Uint32(e[36:40]))
+		if err != nil {
+			return nil, err
+		}
+		if s.Samples, err = decodeSamples(count, ts, vals); err != nil {
+			return nil, fmt.Errorf("runstore: series %s/%s: %w", s.Workload, s.Op, err)
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// decodeSamples rebuilds one series from its two columns. A varint is at
+// least one byte, so count can never exceed either column's byte length —
+// checked up front, which also bounds the allocation.
+func decodeSamples(count uint32, ts, vals []byte) ([]Sample, error) {
+	if count == 0 {
+		if len(ts) != 0 || len(vals) != 0 {
+			return nil, fmt.Errorf("empty series carries %d+%d column bytes", len(ts), len(vals))
+		}
+		return nil, nil
+	}
+	if int64(count) > int64(len(ts)) || int64(count) > int64(len(vals)) {
+		return nil, fmt.Errorf("count %d exceeds column sizes (%d ts bytes, %d val bytes)", count, len(ts), len(vals))
+	}
+	samples := make([]Sample, count)
+	var prevOff, prevDelta int64
+	for i := range samples {
+		v, n := binary.Varint(ts)
+		if n <= 0 {
+			return nil, fmt.Errorf("timestamp column truncated at sample %d", i)
+		}
+		ts = ts[n:]
+		if i == 0 {
+			prevOff = v
+		} else {
+			prevDelta += v
+			prevOff += prevDelta
+		}
+		samples[i].Offset = prevOff
+	}
+	if len(ts) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after timestamp column", len(ts))
+	}
+	var prevVal int64
+	for i := range samples {
+		if i == 0 {
+			v, n := binary.Varint(vals)
+			if n <= 0 {
+				return nil, fmt.Errorf("value column truncated at sample 0")
+			}
+			vals = vals[n:]
+			prevVal = v
+		} else {
+			x, n := binary.Uvarint(vals)
+			if n <= 0 {
+				return nil, fmt.Errorf("value column truncated at sample %d", i)
+			}
+			vals = vals[n:]
+			prevVal = int64(uint64(prevVal) ^ x)
+		}
+		samples[i].Value = prevVal
+	}
+	if len(vals) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after value column", len(vals))
+	}
+	return samples, nil
+}
+
+// ReadFile reads and decodes the run blob at path.
+func ReadFile(path string) (*Run, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	r, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %s: %w", path, err)
+	}
+	return r, nil
+}

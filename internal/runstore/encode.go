@@ -1,0 +1,197 @@
+package runstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+)
+
+// The on-disk layout (all integers little-endian; see docs/RESULTS.md):
+//
+//	offset  size       field
+//	0       4          magic "BDBR"
+//	4       2          format version (currently 1)
+//	6       2          reserved (0)
+//	8       4          metaLen    — length of the meta JSON block
+//	12      4          nSeries    — number of index entries
+//	16      4          namesLen   — length of the names section
+//	20      4          colsLen    — length of the columns section
+//	24      metaLen    meta JSON (Meta)
+//	...     nSeries*40 index entries (indexEntrySize bytes each)
+//	...     namesLen   names section (concatenated UTF-8, deduplicated)
+//	...     colsLen    columns section (per series: timestamp column, then
+//	                   value column, in index order)
+//	end-4   4          CRC32 (IEEE) of every preceding byte
+//
+// One index entry:
+//
+//	u32 wlOff   u16 wlLen   u16 flags     — workload name, substrate bit
+//	u32 opOff   u16 opLen   u16 reserved  — operation label
+//	u32 count                             — samples in the series
+//	u32 dropped                           — observations the buffer dropped
+//	u32 tsOff   u32 tsLen                 — timestamp column (in columns)
+//	u32 valOff  u32 valLen                — value column (in columns)
+//
+// Columns are varint-coded: the timestamp column is delta-of-delta zigzag
+// varints over the (sorted) offsets, the value column is the first value as
+// a zigzag varint followed by XOR folds of consecutive values as unsigned
+// varints. Both exploit the shape of latency streams — near-regular arrival
+// spacing and values that share high bits with their neighbors.
+
+const (
+	headerSize     = 24
+	indexEntrySize = 40
+	trailerSize    = 4
+
+	flagSubstrate = 1 << 0
+)
+
+var magic = [4]byte{'B', 'D', 'B', 'R'}
+
+// Encode serializes the run into the versioned columnar blob format. The
+// run is canonicalized in place first (series and samples sorted), so equal
+// logical runs encode to equal bytes.
+func Encode(r *Run) ([]byte, error) {
+	r.canonicalize()
+	meta, err := json.Marshal(r.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: encode meta: %w", err)
+	}
+
+	// Names section: deduplicated concatenation of workload and op names.
+	names := make([]byte, 0, 64)
+	nameAt := map[string]uint32{}
+	intern := func(s string) (uint32, uint16, error) {
+		if len(s) > math.MaxUint16 {
+			return 0, 0, fmt.Errorf("runstore: name %q exceeds %d bytes", s[:32]+"...", math.MaxUint16)
+		}
+		off, ok := nameAt[s]
+		if !ok {
+			off = uint32(len(names))
+			names = append(names, s...)
+			nameAt[s] = off
+		}
+		return off, uint16(len(s)), nil
+	}
+
+	index := make([]byte, 0, len(r.Series)*indexEntrySize)
+	var cols []byte
+	putU16 := func(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+	putU32 := func(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+	for i := range r.Series {
+		s := &r.Series[i]
+		wlOff, wlLen, err := intern(s.Workload)
+		if err != nil {
+			return nil, err
+		}
+		opOff, opLen, err := intern(s.Op)
+		if err != nil {
+			return nil, err
+		}
+		var flags uint16
+		if s.Substrate {
+			flags |= flagSubstrate
+		}
+		tsOff := uint32(len(cols))
+		cols = appendTimestamps(cols, s.Samples)
+		tsLen := uint32(len(cols)) - tsOff
+		valOff := uint32(len(cols))
+		cols = appendValues(cols, s.Samples)
+		valLen := uint32(len(cols)) - valOff
+
+		index = putU32(index, wlOff)
+		index = putU16(index, wlLen)
+		index = putU16(index, flags)
+		index = putU32(index, opOff)
+		index = putU16(index, opLen)
+		index = putU16(index, 0)
+		index = putU32(index, uint32(len(s.Samples)))
+		index = putU32(index, clampU32(s.Dropped))
+		index = putU32(index, tsOff)
+		index = putU32(index, tsLen)
+		index = putU32(index, valOff)
+		index = putU32(index, valLen)
+	}
+
+	total := headerSize + len(meta) + len(index) + len(names) + len(cols) + trailerSize
+	out := make([]byte, 0, total)
+	out = append(out, magic[:]...)
+	out = putU16(out, Version)
+	out = putU16(out, 0)
+	out = putU32(out, uint32(len(meta)))
+	out = putU32(out, uint32(len(r.Series)))
+	out = putU32(out, uint32(len(names)))
+	out = putU32(out, uint32(len(cols)))
+	out = append(out, meta...)
+	out = append(out, index...)
+	out = append(out, names...)
+	out = append(out, cols...)
+	out = putU32(out, crc32.ChecksumIEEE(out))
+	return out, nil
+}
+
+// clampU32 saturates a drop counter into the index field.
+func clampU32(v uint64) uint32 {
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// appendTimestamps writes the delta-of-delta column: first offset as a
+// zigzag varint, then each further offset as the zigzag varint of the
+// change in spacing. Near-regular streams (paced arrivals) collapse to one
+// byte per sample.
+func appendTimestamps(dst []byte, samples []Sample) []byte {
+	var prev, prevDelta int64
+	for i, s := range samples {
+		switch i {
+		case 0:
+			dst = binary.AppendVarint(dst, s.Offset)
+		default:
+			delta := s.Offset - prev
+			dst = binary.AppendVarint(dst, delta-prevDelta)
+			prevDelta = delta
+		}
+		prev = s.Offset
+	}
+	return dst
+}
+
+// appendValues writes the value column: first value as a zigzag varint,
+// then each further value XOR-folded with its predecessor as an unsigned
+// varint. Neighboring latencies share high bits, so the fold zeroes them
+// and the varint stays short.
+func appendValues(dst []byte, samples []Sample) []byte {
+	var prev int64
+	for i, s := range samples {
+		if i == 0 {
+			dst = binary.AppendVarint(dst, s.Value)
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(s.Value)^uint64(prev))
+		}
+		prev = s.Value
+	}
+	return dst
+}
+
+// WriteFile encodes the run and writes it to path atomically enough for a
+// benchmark artifact: a full write to a temp name, then rename.
+func WriteFile(path string, r *Run) error {
+	raw, err := Encode(r)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("runstore: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("runstore: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package runstore
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/run.sample.blob from the canonical sample run")
+
+const goldenPath = "testdata/run.sample.blob"
+
+// TestGolden pins the on-disk format: the checked-in blob must decode, and
+// decode→re-encode must reproduce it byte for byte. Any encoding change that
+// alters existing blobs fails here — which is the cue to bump Version, not
+// to regenerate the golden silently.
+func TestGolden(t *testing.T) {
+	want, err := os.ReadFile(goldenPath)
+	if *updateGolden || (err != nil && os.IsNotExist(err)) {
+		raw, encErr := Encode(sampleRun())
+		if encErr != nil {
+			t.Fatalf("Encode: %v", encErr)
+		}
+		if mkErr := os.MkdirAll(filepath.Dir(goldenPath), 0o755); mkErr != nil {
+			t.Fatalf("mkdir testdata: %v", mkErr)
+		}
+		if wrErr := os.WriteFile(goldenPath, raw, 0o644); wrErr != nil {
+			t.Fatalf("write golden: %v", wrErr)
+		}
+		if !*updateGolden {
+			t.Fatalf("golden %s was missing; generated it — rerun the test and check it in", goldenPath)
+		}
+		want = raw
+	} else if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+
+	run, err := Decode(want)
+	if err != nil {
+		t.Fatalf("golden blob no longer decodes: %v", err)
+	}
+	got, err := Encode(run)
+	if err != nil {
+		t.Fatalf("golden blob no longer encodes: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("decode→re-encode of golden is not byte-identical (%d vs %d bytes); if the format changed, bump Version and regenerate with -update", len(got), len(want))
+	}
+
+	// The in-memory sample run must still encode to exactly the golden —
+	// same (spec, seed) ⇒ same blob digest, independent of who encodes it.
+	fresh, err := Encode(sampleRun())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if DigestBytes(fresh) != DigestBytes(want) {
+		t.Fatal("freshly encoded sample run diverges from golden; encoding is no longer deterministic (or the sample changed — regenerate with -update)")
+	}
+}

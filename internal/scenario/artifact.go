@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/runstore"
+)
+
+// SpecDigest returns the hex SHA-256 of the normalized spec's JSON — the
+// like-for-like comparability key stored in every run artifact: two blobs
+// with equal digests ran the same scenario (same entries, scale, seed,
+// repetition and load settings), so their deltas are measurement, not
+// configuration.
+func SpecDigest(s Spec) (string, error) {
+	raw, err := json.Marshal(s.Normalized())
+	if err != nil {
+		return "", fmt.Errorf("scenario: digest spec: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CaptureEnv snapshots the executing toolchain and machine for run metadata.
+func CaptureEnv() runstore.Environment {
+	return runstore.Environment{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// BuildArtifact converts a finished scenario outcome into a runstore.Run:
+// metadata (spec digest, seed, environment, per-workload summaries), the
+// full Outcome JSON as the payload so reporters can re-render the saved run
+// exactly, and one series per captured per-op latency stream. toolVersion
+// identifies the writing binary (bdbench.Version via the public API).
+func BuildArtifact(out *Outcome, toolVersion string) (*runstore.Run, error) {
+	digest, err := SpecDigest(out.Spec)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshal outcome: %w", err)
+	}
+	run := &runstore.Run{
+		Meta: runstore.Meta{
+			Kind:        runstore.KindScenario,
+			Name:        out.Spec.Name,
+			Tool:        "bdbench",
+			ToolVersion: toolVersion,
+			SpecDigest:  digest,
+			Seed:        out.Spec.Seed,
+			CreatedUnix: time.Now().Unix(),
+			Env:         CaptureEnv(),
+			Payload:     payload,
+		},
+	}
+	AppendOutcome(run, out, nil)
+	return run, nil
+}
+
+// AppendOutcome appends out's per-workload metadata and captured latency
+// streams to the artifact. label renames each result's workload in the
+// artifact (nil keeps the bare workload name); loadcurve sweeps use it to
+// tag each point with its offered rate so swept points stay distinct
+// streams that compare point-for-point.
+func AppendOutcome(run *runstore.Run, out *Outcome, label func(*Result) string) {
+	for i := range out.Results {
+		r := &out.Results[i]
+		name := r.Workload
+		if label != nil {
+			name = label(r)
+		}
+		wm := runstore.WorkloadMeta{
+			Workload:   name,
+			Suite:      r.Suite,
+			Category:   string(r.Category),
+			Throughput: r.Result.Throughput,
+			ElapsedNs:  int64(r.Result.Elapsed),
+			Error:      r.Error,
+		}
+		if r.Load != nil {
+			wm.Offered = r.Load.Offered
+			wm.Achieved = r.Load.Achieved
+		}
+		run.Meta.Workloads = append(run.Meta.Workloads, wm)
+		for _, s := range r.Result.Samples {
+			series := runstore.Series{
+				Workload:  name,
+				Op:        s.Op,
+				Substrate: s.Substrate,
+				Dropped:   s.Dropped,
+				Samples:   make([]runstore.Sample, len(s.Values)),
+			}
+			for j := range s.Values {
+				series.Samples[j] = runstore.Sample{Offset: s.Offsets[j], Value: s.Values[j]}
+			}
+			run.Series = append(run.Series, series)
+		}
+	}
+}
+
+// writeArtifact builds and writes the run blob for a finished outcome —
+// the bracket at the end of every scenario run that has a RunOutput path.
+func writeArtifact(path string, out *Outcome, toolVersion string) error {
+	run, err := BuildArtifact(out, toolVersion)
+	if err != nil {
+		return err
+	}
+	if err := runstore.WriteFile(path, run); err != nil {
+		return fmt.Errorf("scenario: run output: %w", err)
+	}
+	return nil
+}

@@ -146,6 +146,20 @@ type Options struct {
 	// pprof/trace files land ("." when empty).
 	Profile    []profiling.Mode
 	ProfileDir string
+	// RunOutput, when set, makes the run a durable artifact: raw per-op
+	// latency capture is enabled on the engine, and the finished outcome —
+	// including every captured stream — is encoded as a runstore blob at
+	// this path. The blob is written even when workloads fail, so a failing
+	// run still leaves evidence.
+	RunOutput string
+	// SampleCapacity bounds the capture buffers, per operation cell, when
+	// RunOutput is set (metrics.DefaultSampleCapacity when zero). Positive
+	// with no RunOutput enables capture without writing a file (the streams
+	// surface on each Result).
+	SampleCapacity int
+	// ToolVersion stamps the artifact's writer (bdbench.Version through the
+	// public API).
+	ToolVersion string
 }
 
 // Run executes the five-step benchmarking process for the spec: validate
@@ -276,6 +290,11 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		Timeout: time.Duration(n.Timeout),
 		OnEvent: opts.OnEvent,
 	}
+	if opts.SampleCapacity > 0 {
+		cfg.SampleCap = opts.SampleCapacity
+	} else if opts.RunOutput != "" {
+		cfg.SampleCap = metrics.DefaultSampleCapacity
+	}
 	tr := engine.Run(ctx, engTasks, cfg)
 	out.Results = make([]Result, len(tr))
 	for i, r := range tr {
@@ -349,8 +368,20 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		out.Summary[cat] = a.sum / float64(a.n) // closed-loop wins a mixed category
 	}
 	record(StepAnalysis, fmt.Sprintf("%d categories summarized, %d failures", len(out.Summary), out.Failures), t4)
+
+	// Close the bracket: persist the run artifact. A failing run still
+	// writes its blob — the evidence of the failure is worth keeping — but a
+	// failed artifact write is the run's error only when the run itself
+	// succeeded.
+	var artErr error
+	if opts.RunOutput != "" {
+		artErr = writeArtifact(opts.RunOutput, out, opts.ToolVersion)
+	}
 	if out.Failures > 0 {
 		return out, fmt.Errorf("scenario: %d workload(s) failed", out.Failures)
+	}
+	if artErr != nil {
+		return out, artErr
 	}
 	return out, nil
 }

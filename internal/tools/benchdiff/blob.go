@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/runstore"
+	"github.com/bdbench/bdbench/internal/scenario"
+)
+
+// benchBlob converts parsed benchmark results into a KindBench run
+// artifact: the full Results JSON as the payload (so `bdbench show`
+// renders exactly what -out writes) and one single-sample series per
+// benchmark whose value is its ns/op. Single-sample series make every
+// quantile equal the measurement, so `bdbench compare old.blob new.blob`
+// judges per-bench time ratios with the same thresholds it applies to
+// latency streams.
+func benchBlob(results Results) (*runstore.Run, error) {
+	payload, err := json.Marshal(results)
+	if err != nil {
+		return nil, fmt.Errorf("marshal results: %w", err)
+	}
+	run := &runstore.Run{
+		Meta: runstore.Meta{
+			Kind:        runstore.KindBench,
+			Name:        "benchdiff results",
+			Tool:        "benchdiff",
+			CreatedUnix: time.Now().Unix(),
+			Env:         scenario.CaptureEnv(),
+			Payload:     payload,
+		},
+	}
+	for name, b := range results.Benchmarks {
+		run.Series = append(run.Series, runstore.Series{
+			Workload: name,
+			Op:       "ns/op",
+			Samples:  []runstore.Sample{{Value: int64(b.NsPerOp)}},
+		})
+		if b.AllocsPerOp != nil {
+			run.Series = append(run.Series, runstore.Series{
+				Workload: name,
+				Op:       "allocs/op",
+				Samples:  []runstore.Sample{{Value: int64(*b.AllocsPerOp)}},
+			})
+		}
+	}
+	return run, nil
+}
+
+// writeBenchBlob writes the results as a run artifact at path.
+func writeBenchBlob(path string, results Results) error {
+	run, err := benchBlob(results)
+	if err != nil {
+		return err
+	}
+	return runstore.WriteFile(path, run)
+}

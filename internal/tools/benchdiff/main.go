@@ -250,6 +250,7 @@ func run() error {
 	in := flag.String("in", "-", "bench output to read (- = stdin)")
 	baselinePath := flag.String("baseline", "testdata/bench.baseline.json", "checked-in baseline JSON")
 	outPath := flag.String("out", "", "write the full parsed results JSON here (the CI artifact)")
+	outBlob := flag.String("out-blob", "", "additionally write the results as a run artifact (internal/runstore blob; diff with `bdbench compare`)")
 	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
 	threshold := flag.Float64("threshold", 1.25, "fail when the gated geomean ns/op ratio exceeds this")
 	allocThreshold := flag.Float64("alloc-threshold", 1.25,
@@ -290,6 +291,12 @@ func run() error {
 			return err
 		}
 		fmt.Printf("benchdiff: wrote %d benches to %s\n", len(cur), *outPath)
+	}
+	if *outBlob != "" {
+		if err := writeBenchBlob(*outBlob, results); err != nil {
+			return err
+		}
+		fmt.Printf("benchdiff: wrote run artifact to %s\n", *outBlob)
 	}
 	if *update {
 		if err := writeJSON(*baselinePath); err != nil {

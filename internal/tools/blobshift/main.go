@@ -1,0 +1,65 @@
+// Command blobshift rewrites a run artifact with every latency sample
+// scaled by a factor — a synthetic, perfectly controlled performance shift.
+// CI uses it to prove the compare gate actually fires: shift a blob by
+// +30%, diff it against the original with `bdbench compare`, and the exit
+// status must be nonzero. It is also handy for threshold tuning: generate
+// shifts at several factors and see which ones the chosen thresholds catch.
+//
+//	go run ./internal/tools/blobshift -factor 1.3 -in a.blob -out a+30.blob
+//
+// Only sample values change. Metadata (spec digest, seed, workload rate
+// summaries) is preserved, so the shifted blob still compares like-for-like
+// against its source — exactly the shape of a real latency regression under
+// an unchanged configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/bdbench/bdbench/internal/runstore"
+)
+
+// shift scales every sample value in place. Values are nanoseconds;
+// rounding to nearest keeps small values monotone under factors near 1.
+func shift(run *runstore.Run, factor float64) {
+	for i := range run.Series {
+		s := &run.Series[i]
+		for j := range s.Samples {
+			s.Samples[j].Value = int64(math.Round(float64(s.Samples[j].Value) * factor))
+		}
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "source run artifact")
+	out := flag.String("out", "", "destination for the shifted artifact")
+	factor := flag.Float64("factor", 1.3, "multiply every latency sample by this")
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		return fmt.Errorf("need -in and -out")
+	}
+	if *factor <= 0 {
+		return fmt.Errorf("bad -factor %g (want > 0)", *factor)
+	}
+	r, err := runstore.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	shift(r, *factor)
+	if err := runstore.WriteFile(*out, r); err != nil {
+		return err
+	}
+	fmt.Printf("blobshift: %s -> %s (%d series scaled by %g)\n", *in, *out, len(r.Series), *factor)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blobshift:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/runstore"
+)
+
+// TestShiftScalesEveryValue: shifting by 1.3 moves every quantile by
+// exactly the factor, and the shifted run regresses against its source
+// under a 15% threshold — the CI gate's injected-regression scenario in
+// miniature.
+func TestShiftScalesEveryValue(t *testing.T) {
+	orig := &runstore.Run{
+		Meta: runstore.Meta{Kind: runstore.KindScenario, Name: "t", SpecDigest: "d", Seed: 1},
+		Series: []runstore.Series{{
+			Workload: "w", Op: "op",
+			Samples: []runstore.Sample{{Offset: 1, Value: 100}, {Offset: 2, Value: 1000}, {Offset: 3, Value: 10000}},
+		}},
+	}
+	shifted := &runstore.Run{Meta: orig.Meta}
+	shifted.Series = append([]runstore.Series(nil), orig.Series...)
+	shifted.Series[0].Samples = append([]runstore.Sample(nil), orig.Series[0].Samples...)
+
+	shift(shifted, 1.3)
+	want := []int64{130, 1300, 13000}
+	for i, s := range shifted.Series[0].Samples {
+		if s.Value != want[i] {
+			t.Errorf("sample %d: value %d, want %d", i, s.Value, want[i])
+		}
+		if s.Offset != orig.Series[0].Samples[i].Offset {
+			t.Errorf("sample %d: offset changed", i)
+		}
+	}
+
+	cmp := runstore.Compare(orig, shifted, runstore.CompareOptions{LatencyThreshold: 0.15})
+	if cmp.Verdict != runstore.VerdictRegressed {
+		t.Fatalf("shifted run not flagged: verdict %q", cmp.Verdict)
+	}
+	if !cmp.SpecMatch || !cmp.SeedMatch {
+		t.Fatalf("shift must preserve identity: SpecMatch=%v SeedMatch=%v", cmp.SpecMatch, cmp.SeedMatch)
+	}
+}

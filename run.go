@@ -123,5 +123,6 @@ func Run(ctx context.Context, s Scenario, opts ...Option) (*Outcome, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	o.ToolVersion = Version
 	return scenario.Run(ctx, s, o)
 }

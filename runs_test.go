@@ -1,0 +1,137 @@
+package bdbench_test
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	bdbench "github.com/bdbench/bdbench"
+)
+
+// TestRunArtifactRoundTrip is the tentpole's acceptance path end to end: a
+// run written with WithRunOutput, read back with ReadRun, re-rendered by
+// every reporter — and each re-render must match the live run's report byte
+// for byte.
+func TestRunArtifactRoundTrip(t *testing.T) {
+	reg := bdbench.NewRegistry()
+	if err := reg.RegisterWorkload(evenCount{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.blob")
+	sc := bdbench.Scenario{Name: "roundtrip", Entries: []bdbench.Entry{{Workload: "even-count"}}, Seed: 3, Scale: 2}
+	out, err := bdbench.Run(context.Background(), sc,
+		bdbench.WithRegistry(reg),
+		bdbench.WithRunOutput(path),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run, err := bdbench.ReadRun(path)
+	if err != nil {
+		t.Fatalf("ReadRun: %v", err)
+	}
+	if run.Meta.Seed != 3 || run.Meta.Name != "roundtrip" {
+		t.Fatalf("meta: %+v", run.Meta)
+	}
+	wantDigest, err := bdbench.SpecDigest(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Meta.SpecDigest != wantDigest {
+		t.Fatalf("spec digest %q, want %q", run.Meta.SpecDigest, wantDigest)
+	}
+	if len(run.Series) == 0 {
+		t.Fatal("artifact carries no latency streams")
+	}
+
+	for _, format := range bdbench.Formats() {
+		rep, err := bdbench.ReporterFor(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live, saved bytes.Buffer
+		if err := rep.Report(&live, out); err != nil {
+			t.Fatalf("%s live: %v", format, err)
+		}
+		if err := bdbench.RenderRun(&saved, run, format); err != nil {
+			t.Fatalf("%s saved: %v", format, err)
+		}
+		if live.String() != saved.String() {
+			t.Errorf("%s: re-rendered artifact diverges from live report\nlive:\n%s\nsaved:\n%s",
+				format, live.String(), saved.String())
+		}
+	}
+}
+
+// TestCompareRunsThroughPublicAPI: same-seed self-comparison is clean; an
+// injected +30%% value shift is flagged with a regressed verdict.
+func TestCompareRunsThroughPublicAPI(t *testing.T) {
+	reg := bdbench.NewRegistry()
+	if err := reg.RegisterWorkload(evenCount{}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "a.blob"), filepath.Join(dir, "b.blob")}
+	sc := bdbench.Scenario{Name: "cmp", Entries: []bdbench.Entry{{Workload: "even-count"}}, Seed: 7}
+	for _, p := range paths {
+		if _, err := bdbench.Run(context.Background(), sc,
+			bdbench.WithRegistry(reg), bdbench.WithRunOutput(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := bdbench.ReadRun(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bdbench.ReadRun(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same seed, same spec: generous thresholds make self-comparison clean
+	// even on a noisy machine.
+	cmp := bdbench.CompareRuns(a, b, bdbench.CompareOptions{LatencyThreshold: 10, ThroughputThreshold: 0.99})
+	if !cmp.SpecMatch || !cmp.SeedMatch {
+		t.Fatalf("same-seed runs: SpecMatch=%v SeedMatch=%v", cmp.SpecMatch, cmp.SeedMatch)
+	}
+	if cmp.Verdict == bdbench.VerdictRegressed {
+		t.Fatalf("self-comparison regressed: %+v", cmp)
+	}
+
+	// Inject a +30% shift into a copy of run a and compare against the
+	// original: the two sides differ only by the synthetic shift, so the
+	// verdict is deterministic.
+	shifted, err := bdbench.ReadRun(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shifted.Series {
+		for j := range shifted.Series[i].Samples {
+			shifted.Series[i].Samples[j].Value = shifted.Series[i].Samples[j].Value * 13 / 10
+		}
+	}
+	cmp = bdbench.CompareRuns(a, shifted, bdbench.CompareOptions{LatencyThreshold: 0.15})
+	if cmp.Verdict != bdbench.VerdictRegressed {
+		t.Fatal("+30% shift not flagged")
+	}
+	if cmp.Err() == nil {
+		t.Fatal("Err() nil on regression")
+	}
+	text, err := bdbench.FormatComparison(cmp, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "regressed") {
+		t.Errorf("text comparison missing verdict:\n%s", text)
+	}
+}
+
+// TestReadRunRejectsGarbage: the public reader surfaces decode errors.
+func TestReadRunRejectsGarbage(t *testing.T) {
+	if _, err := bdbench.ReadRun(filepath.Join(t.TempDir(), "missing.blob")); err == nil {
+		t.Fatal("missing file read cleanly")
+	}
+}
