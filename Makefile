@@ -15,7 +15,7 @@ BENCH_STAMP ?= $(shell date +%F)
 BENCH_DATED := BENCH_$(BENCH_STAMP).json
 BENCH_BLOB := BENCH_$(BENCH_STAMP).blob
 
-.PHONY: build test race bench bench-baseline fmt vet
+.PHONY: build test race bench bench-baseline fmt vet lint
 
 build:
 	$(GO) build ./...
@@ -53,3 +53,9 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs bdvet, the repo's own analyzer suite (determinism, zero-alloc
+# hot paths, metrics hygiene, context threading — see docs/LINT.md). It
+# also runs as `go vet -vettool`; this direct form is faster for ./...
+lint:
+	$(GO) run ./cmd/bdvet ./...

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/bdbench/bdbench/internal/lint"
+)
+
+// version feeds cmd/go's vet-tool cache key (`bdvet -V=full`). Bump it
+// whenever analyzer behavior changes, or stale cached vet verdicts from
+// the previous binary survive a rebuild.
+const version = "1.6.0"
+
+// vetConfig is the JSON configuration cmd/go writes for each package
+// when bdvet runs as `go vet -vettool=bdvet`. Field set and semantics
+// follow the vet/unitchecker protocol: GoFiles is the unit's file list,
+// ImportMap canonicalizes import paths, and PackageFile locates each
+// import's compiler export data. PackageVetx/VetxOutput carry analysis
+// facts between units — bdvet's analyzers are all local, so it only has
+// to write an empty output file for the build system's bookkeeping.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes the single package unit described by cfgFile.
+// Exit codes mirror x/tools' unitchecker: 0 clean, 2 findings, 1 broken.
+func runUnitchecker(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bdvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The facts file must exist even though bdvet produces none: cmd/go
+	// records it as the vet action's output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "bdvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	pkg, err := lint.CheckUnit(fset, imp, cfg.GoVersion, cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "bdvet:", err)
+		return 1
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdvet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

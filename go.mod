@@ -1,3 +1,9 @@
 module github.com/bdbench/bdbench
 
 go 1.23
+
+// The module deliberately has no dependencies — including
+// golang.org/x/tools: the bdvet analyzer suite (internal/lint,
+// cmd/bdvet) follows the go/analysis model but is built on the standard
+// library's go/* packages alone, so `go build ./...` and `make lint`
+// work offline with nothing to fetch. See docs/LINT.md.

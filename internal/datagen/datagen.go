@@ -100,7 +100,7 @@ func NewTokenBucket(rate, burst float64) *TokenBucket {
 		rate:   rate,
 		burst:  burst,
 		tokens: burst,
-		now:    time.Now,
+		now:    time.Now, //bdvet:allow detnondet -- production default for the injected clock; tests override via SetClock
 		sleep:  time.Sleep,
 	}
 }
@@ -180,7 +180,7 @@ type RateProbe struct {
 }
 
 // NewRateProbe starts a probe.
-func NewRateProbe() *RateProbe { return &RateProbe{start: time.Now()} }
+func NewRateProbe() *RateProbe { return &RateProbe{start: time.Now()} } //bdvet:allow detnondet -- rate probes measure real elapsed time by design
 
 // Add records n produced items.
 func (p *RateProbe) Add(n int64) {
@@ -200,7 +200,7 @@ func (p *RateProbe) Count() int64 {
 func (p *RateProbe) Rate() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	secs := time.Since(p.start).Seconds()
+	secs := time.Since(p.start).Seconds() //bdvet:allow detnondet -- rate probes measure real elapsed time by design
 	if secs <= 0 {
 		return 0
 	}

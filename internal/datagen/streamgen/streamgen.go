@@ -220,11 +220,11 @@ func MeasureProcessingSpeed(events []Event, process func(Event)) float64 {
 	if len(events) == 0 {
 		return 0
 	}
-	start := time.Now()
+	start := time.Now() //bdvet:allow detnondet -- processing-speed measurement is wall time by definition
 	for _, ev := range events {
 		process(ev)
 	}
-	secs := time.Since(start).Seconds()
+	secs := time.Since(start).Seconds() //bdvet:allow detnondet -- processing-speed measurement is wall time by definition
 	if secs <= 0 {
 		return float64(len(events)) / 1e-9
 	}

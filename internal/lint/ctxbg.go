@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxScopes names engine-driven code: everything here executes under a
+// task context the engine dissolves on cancellation or timeout. Minting
+// context.Background (or TODO) severs that chain — the workload keeps
+// running after the run was cancelled, and per-op timeouts silently stop
+// applying.
+var ctxScopes = []string{
+	"internal/workloads",
+	"internal/stacks",
+	"internal/suites",
+	"internal/engine",
+	"internal/loadgen",
+	"stacks",
+}
+
+// Ctxbg flags context.Background()/context.TODO() inside engine-driven
+// packages, where the task context must be threaded through instead.
+// Test files are exempt (a test is its own root); deliberate roots in
+// public convenience wrappers carry //bdvet:allow annotations.
+var Ctxbg = &Analyzer{
+	Name: "ctxbg",
+	Doc:  "flag context.Background/TODO in engine-driven code where the task context must be threaded",
+	Run:  runCtxbg,
+}
+
+func runCtxbg(pass *Pass) error {
+	if !pathInScope(pass.Path, ctxScopes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, pkgPath := pass.selectedObj(sel)
+			if obj == nil || pkgPath != "context" {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || (fn.Name() != "Background" && fn.Name() != "TODO") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "context.%s in engine-driven code detaches this call from the task context: cancellation and timeouts stop propagating; thread the caller's ctx through (or //bdvet:allow ctxbg -- <reason>)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

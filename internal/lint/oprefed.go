@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SetupDirective marks a function as setup/teardown code where
+// string-keyed recording is fine: it runs once per run, not per
+// operation, so the per-call map lookup cannot become measurement
+// overhead.
+const SetupDirective = "//bdvet:setup"
+
+// Oprefed flags string-keyed recording calls — Recorder.ObserveLatency,
+// Recorder.Add, Timed, and the ObserveSince helper — made inside a loop
+// in internal non-test code. A loop body is steady state: per-iteration
+// recording belongs on an interned OpRef/CounterRef resolved once
+// outside the loop (metrics.OpRefOf / CounterRefOf / Shard.Op), which is
+// both allocation-free and lookup-free. One-shot calls outside loops are
+// setup and stay legal, as does anything in _test.go files or functions
+// marked //bdvet:setup.
+var Oprefed = &Analyzer{
+	Name: "oprefed",
+	Doc:  "flag string-keyed metrics recording in steady-state loops where an interned OpRef/CounterRef should be pre-resolved",
+	Run:  runOprefed,
+}
+
+// oprefExempt carves out packages where string keys are the point:
+// metrics implements the string-keyed surface, lint analyzes it, tools
+// are offline dev utilities.
+var oprefExempt = []string{
+	"internal/metrics",
+	"internal/lint",
+	"internal/tools",
+}
+
+// stringKeyedMethods are the Recorder-surface methods whose first
+// argument is a label resolved per call. The interned handles (OpRef,
+// CounterRef) deliberately share none of these names.
+var stringKeyedMethods = map[string]bool{
+	"ObserveLatency": true,
+	"Add":            true,
+	"Timed":          true,
+}
+
+// stringKeyedOwners are the metrics types carrying those methods.
+var stringKeyedOwners = map[string]bool{
+	"Collector": true,
+	"Shard":     true,
+	"Recorder":  true,
+	"Sharder":   true,
+}
+
+func runOprefed(pass *Pass) error {
+	path := "/" + ScopePath(pass.Path) + "/"
+	if !strings.Contains(path, "/internal/") || pathInScope(pass.Path, oprefExempt) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind := pass.stringKeyedKind(sel)
+			if kind == "" || !inLoop(stack) {
+				return true
+			}
+			if pass.funcDirective(file, call.Pos(), SetupDirective) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "string-keyed %s in a steady-state loop resolves its label on every iteration; pre-resolve an OpRef/CounterRef outside the loop (metrics.OpRefOf, Shard.Op) or mark the enclosing function %s -- it is setup code", kind, SetupDirective)
+			return true
+		})
+	}
+	return nil
+}
+
+// stringKeyedKind classifies the selector as a string-keyed recording
+// call and returns a human-readable name for it, or "".
+func (p *Pass) stringKeyedKind(sel *ast.SelectorExpr) string {
+	obj, pkgPath := p.selectedObj(sel)
+	if obj == nil || !isMetricsPkg(pkgPath) {
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if !stringKeyedMethods[fn.Name()] || !stringKeyedOwners[namedName(recv.Type())] {
+			return ""
+		}
+		return namedName(recv.Type()) + "." + fn.Name()
+	}
+	if fn.Name() == "ObserveSince" {
+		return "metrics.ObserveSince"
+	}
+	return ""
+}
+
+// isMetricsPkg matches the real metrics package and analysistest stubs.
+func isMetricsPkg(path string) bool {
+	return path == "metrics" || strings.HasSuffix(path, "/metrics")
+}
+
+// namedName returns the name of the (possibly pointer-wrapped) named
+// receiver type, or "".
+func namedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// inLoop reports whether any ancestor is a for or range statement.
+// Function literals do not reset the answer: a closure defined inside a
+// loop runs per iteration.
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// AllowPrefix is the suppression directive. A comment of the form
+//
+//	//bdvet:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// silences diagnostics from the named analyzers on the comment's own
+// line (trailing comment) or, when the comment stands on a line of its
+// own, on the next source line. The reason is not optional: an allow
+// without one (or naming an unknown analyzer) is reported as a "bdvet"
+// diagnostic, so every suppression in the tree carries its
+// justification and the inventory cannot rot silently.
+const AllowPrefix = "//bdvet:allow"
+
+// allowEntry is one parsed suppression comment.
+type allowEntry struct {
+	pos       token.Pos
+	line      int // line the suppression applies to
+	analyzers []string
+	reason    string
+}
+
+// applySuppressions filters diagnostics through the package's
+// //bdvet:allow comments. It returns the surviving diagnostics and any
+// suppression-misuse diagnostics (missing reason, unknown analyzer).
+func applySuppressions(pkg *Package, diags []Diagnostic, known map[string]bool) (kept, errs []Diagnostic) {
+	// byFile[file][line] -> analyzers allowed on that line.
+	allowed := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				entry, ok := parseAllow(pkg.Fset, c)
+				if !ok {
+					continue
+				}
+				posn := pkg.Fset.Position(entry.pos)
+				if entry.reason == "" {
+					errs = append(errs, Diagnostic{
+						Pos:      entry.pos,
+						Position: posn,
+						Analyzer: "bdvet",
+						Message:  fmt.Sprintf("%s needs a reason: append `-- <why this site is exempt>`", AllowPrefix),
+					})
+					continue
+				}
+				bad := false
+				for _, name := range entry.analyzers {
+					if !known[name] {
+						errs = append(errs, Diagnostic{
+							Pos:      entry.pos,
+							Position: posn,
+							Analyzer: "bdvet",
+							Message:  fmt.Sprintf("%s names unknown analyzer %q", AllowPrefix, name),
+						})
+						bad = true
+					}
+				}
+				if bad || len(entry.analyzers) == 0 {
+					if len(entry.analyzers) == 0 {
+						errs = append(errs, Diagnostic{
+							Pos:      entry.pos,
+							Position: posn,
+							Analyzer: "bdvet",
+							Message:  fmt.Sprintf("%s must name the analyzer(s) it silences", AllowPrefix),
+						})
+					}
+					continue
+				}
+				lines := allowed[posn.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					allowed[posn.Filename] = lines
+				}
+				set := lines[entry.line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[entry.line] = set
+				}
+				for _, name := range entry.analyzers {
+					set[name] = true
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if set := allowed[d.Position.Filename][d.Position.Line]; set[d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, errs
+}
+
+// parseAllow parses one comment as a suppression directive. ok is false
+// for ordinary comments. Both "--" and an em dash separate the analyzer
+// list from the reason.
+func parseAllow(fset *token.FileSet, c *ast.Comment) (allowEntry, bool) {
+	text := c.Text
+	if text != AllowPrefix && !strings.HasPrefix(text, AllowPrefix+" ") {
+		return allowEntry{}, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
+	entry := allowEntry{pos: c.Pos()}
+
+	names := rest
+	for _, sep := range []string{"--", "—"} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			names = rest[:i]
+			entry.reason = strings.TrimSpace(rest[i+len(sep):])
+			break
+		}
+	}
+	for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		entry.analyzers = append(entry.analyzers, name)
+	}
+
+	posn := fset.Position(c.Pos())
+	entry.line = posn.Line
+	if standsAlone(posn) {
+		entry.line = posn.Line + 1
+	}
+	return entry, true
+}
+
+// standsAlone reports whether the comment is the first thing on its
+// source line (ignoring whitespace), in which case the suppression
+// targets the line below it rather than its own. It reads the source
+// file; when that fails (vet cache moved the file, say) the comment is
+// treated as trailing, the stricter interpretation.
+func standsAlone(posn token.Position) bool {
+	data, err := os.ReadFile(posn.Filename)
+	if err != nil {
+		return false
+	}
+	// Walk back from the comment's byte offset to the preceding newline.
+	if posn.Offset > len(data) {
+		return false
+	}
+	for i := posn.Offset - 1; i >= 0; i-- {
+		switch data[i] {
+		case '\n':
+			return true
+		case ' ', '\t':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // first line of the file
+}

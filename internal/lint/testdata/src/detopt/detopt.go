@@ -1,0 +1,11 @@
+// Package detopt sits outside every determinism-contract scope but
+// opts in explicitly with the package-level directive below.
+//
+//bdvet:deterministic
+package detopt
+
+import "time"
+
+func wall() time.Time {
+	return time.Now() // want `detnondet: wall clock \(time\.Now\)`
+}

@@ -1,0 +1,70 @@
+// Package hot exercises the hotpath analyzer. Only functions carrying
+// the //bdbench:hotpath directive are checked; coldAllocs proves the
+// default is silence.
+package hot
+
+import "fmt"
+
+type cell struct {
+	buf   []int
+	label string
+}
+
+// hotAllocs plants one of each basic allocating construct.
+//
+//bdbench:hotpath
+func hotAllocs(c *cell, v int, s string) {
+	_ = fmt.Sprintf("%d", v) // want `hotpath: fmt\.Sprintf in hot path`
+	_ = c.label + s          // want `hotpath: string concatenation allocates`
+	_ = []byte(s)            // want `hotpath: \[\]byte conversion copies and allocates`
+	f := func() {}           // want `hotpath: function literal in hot path`
+	f()
+	c.buf = append(c.buf, v) // want `hotpath: append in hot path may grow`
+	_ = make([]int, 4)       // want `hotpath: make in hot path allocates`
+}
+
+// hotBoxing plants literal, goroutine and interface-boxing hazards.
+//
+//bdbench:hotpath
+func hotBoxing(c *cell, v int) {
+	sink(v)              // want `hotpath: passing int to an interface parameter boxes it`
+	sink(&c.buf)         // pointers fit the interface word: no boxing
+	_ = map[string]int{} // want `hotpath: map literal allocates`
+	_ = []int{1}         // want `hotpath: slice literal allocates`
+	go f2()              // want `hotpath: go statement in hot path`
+}
+
+// hotVariadic shows the hidden argument-slice allocation.
+//
+//bdbench:hotpath
+func hotVariadic(vals []int) {
+	variadic(1, 2) // want `hotpath: variadic call allocates its argument slice`
+	variadic(vals...)
+}
+
+// hotClean uses only the sanctioned idioms and must stay silent.
+//
+//bdbench:hotpath
+func hotClean(c *cell, v int) {
+	c.buf = append(c.buf[:0], v) // reslice hint: reuses backing storage
+	const tag = "a" + "b"        // constant-folded concatenation
+	_ = tag
+	c.buf[0] = v
+}
+
+// hotAllowed proves //bdvet:allow composes with the directive.
+//
+//bdbench:hotpath
+func hotAllowed(v int) {
+	sink(v) //bdvet:allow hotpath -- boxing is deliberate in this test fixture
+}
+
+func coldAllocs(s string) []byte {
+	return []byte(s + "!") // no directive: not a hot path
+}
+
+func sink(x interface{}) {}
+
+func f2() {}
+
+func variadic(xs ...int) {}

@@ -1,0 +1,19 @@
+// Package badallow exercises suppression misuse: every //bdvet:allow
+// below is malformed, so each becomes a "bdvet" diagnostic of its own
+// and suppresses nothing — the reasonless one leaves its detnondet
+// finding alive.
+package badallow
+
+import "time"
+
+func reasonless() time.Time {
+	return time.Now() //bdvet:allow detnondet
+}
+
+func unknown() int {
+	x := 1 //bdvet:allow nosuchanalyzer -- the analyzer name is wrong
+	return x
+}
+
+//bdvet:allow -- no analyzer named
+func nameless() {}

@@ -1,0 +1,70 @@
+// Package det exercises the detnondet analyzer. Its import path sits
+// under internal/datagen, a determinism-contract scope, so every
+// ambient time or randomness reference below must be flagged unless it
+// carries a //bdvet:allow annotation.
+package det
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock is the injected-clock seam the analyzer pushes code toward.
+type Clock func() time.Time
+
+func wallClock() time.Duration {
+	t := time.Now()      // want `detnondet: wall clock \(time\.Now\)`
+	return time.Since(t) // want `detnondet: wall clock \(time\.Since\)`
+}
+
+func storedDefault() Clock {
+	return time.Now // want `detnondet: wall clock \(time\.Now\)`
+}
+
+func allowedDefault() Clock {
+	return time.Now //bdvet:allow detnondet -- injected-clock default; tests override it
+}
+
+//bdvet:allow detnondet -- standalone-form suppression targets the next source line
+func allowedStandalone() time.Time { return time.Now() }
+
+func globalRand() int {
+	return rand.Intn(10) // want `detnondet: global math/rand state \(rand\.Intn\)`
+}
+
+func seededRand(g *rand.Rand) int {
+	return g.Intn(10) // methods on an explicit generator are the seeded path
+}
+
+func constructorRand() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // constructors build the fix, not the bug
+}
+
+func cryptoRand(buf []byte) {
+	_, _ = crand.Read(buf) // want `detnondet: crypto/rand \(Read\) is ambient randomness`
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `detnondet: map iteration order leaks into out`
+	}
+	return out
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: the canonical idiom stays silent
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapIndexWrite(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v // indexed writes are order-independent
+	}
+}

@@ -1,0 +1,22 @@
+// Package ctxtest exercises the ctxbg analyzer at an engine-driven
+// import path: minting a root context severs the task-cancellation
+// chain, so only annotated sites may do it.
+package ctxtest
+
+import "context"
+
+func detached() context.Context {
+	return context.Background() // want `ctxbg: context\.Background in engine-driven code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `ctxbg: context\.TODO in engine-driven code`
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx) // deriving from the caller's ctx is the contract
+}
+
+func allowedRoot() context.Context {
+	return context.Background() //bdvet:allow ctxbg -- public convenience wrapper with no caller context
+}

@@ -1,0 +1,62 @@
+// Package opref exercises the oprefed analyzer against the real
+// metrics package surface: string-keyed recording is legal as one-shot
+// setup but not inside steady-state loops, where a pre-resolved
+// OpRef/CounterRef belongs.
+package opref
+
+import (
+	"time"
+
+	"github.com/bdbench/bdbench/internal/metrics"
+)
+
+func steadyState(c *metrics.Collector, n int) {
+	for i := 0; i < n; i++ {
+		t := time.Now()
+		c.ObserveLatency("op", time.Since(t)) // want `oprefed: string-keyed Collector\.ObserveLatency in a steady-state loop`
+		c.Add("ops", 1)                       // want `oprefed: string-keyed Collector\.Add in a steady-state loop`
+	}
+}
+
+func helperInLoop(rec metrics.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		t := metrics.StartTimer(rec)
+		metrics.ObserveSince(rec, "op", t) // want `oprefed: string-keyed metrics\.ObserveSince in a steady-state loop`
+	}
+}
+
+func closureInLoop(c *metrics.Collector, rows []string) {
+	for range rows {
+		f := func() { c.Add("ops", 1) } // want `oprefed: string-keyed Collector\.Add in a steady-state loop`
+		f()
+	}
+}
+
+func setupOnce(c *metrics.Collector) {
+	c.Add("records", 1) // one-shot call outside any loop: setup, stays legal
+}
+
+func preResolved(c *metrics.Collector, n int) {
+	ref := c.Op("op")
+	ops := c.CounterRef("ops")
+	for i := 0; i < n; i++ {
+		t := ref.StartTimer()
+		ref.ObserveSince(t)
+		ops.Add(1) // CounterRef.Add is the interned handle, not a string key
+	}
+}
+
+// markedSetup is load-phase accounting: per-row counters are the point.
+//
+//bdvet:setup
+func markedSetup(c *metrics.Collector, rows []string) {
+	for _, r := range rows {
+		c.Add(r, 1)
+	}
+}
+
+func allowedInLoop(c *metrics.Collector, n int) {
+	for i := 0; i < n; i++ {
+		c.Add("ops", 1) //bdvet:allow oprefed -- fixture proves suppression reaches loop bodies
+	}
+}

@@ -187,7 +187,11 @@ func (r *runState) worker() {
 }
 
 // execOne runs one operation and records its three latency views. This is
-// the per-operation hot path: zero allocations in steady state.
+// the per-operation hot path: zero allocations in steady state
+// (TestDispatchSteadyStateZeroAlloc at runtime, bdvet's hotpath analyzer
+// statically).
+//
+//bdbench:hotpath
 func (r *runState) execOne(offset time.Duration) {
 	if r.ctx.Err() != nil {
 		r.skipped.Add(1)
@@ -244,7 +248,7 @@ func Run(ctx context.Context, opts Options, op func(context.Context) error) (Sta
 	}
 	now := opts.Now
 	if now == nil {
-		now = time.Now
+		now = time.Now //bdvet:allow detnondet -- production default for the Options.Now clock seam; determinism tests inject a virtual clock
 	}
 
 	sched := Schedule(proc, opts.Rate, opts.Duration, opts.Seed)

@@ -52,6 +52,8 @@ func newSampleBuf(st *samplingState) *sampleBuf {
 }
 
 // record captures one observation. Zero allocations, no locks, no growth.
+//
+//bdbench:hotpath
 func (b *sampleBuf) record(d time.Duration) {
 	idx := b.n.Add(1) - 1
 	if idx >= uint64(len(b.vals)) {

@@ -81,8 +81,19 @@ type OpRef struct {
 	name string
 }
 
+// StartTimer reads the clock only when the ref records anywhere — the
+// OpRef twin of StartTimer(rec). Pair with OpRef.ObserveSince.
+func (r OpRef) StartTimer() (t time.Time) {
+	if r.Valid() {
+		t = time.Now()
+	}
+	return t
+}
+
 // Observe records one latency under the ref's operation label. Safe for
 // concurrent use; a no-op on the zero ref.
+//
+//bdbench:hotpath
 func (r OpRef) Observe(d time.Duration) {
 	if c := r.cell; c != nil {
 		c.observe(d)
@@ -95,6 +106,8 @@ func (r OpRef) Observe(d time.Duration) {
 
 // ObserveSince records the time elapsed since start — the OpRef twin of
 // ObserveSince(rec, op, start).
+//
+//bdbench:hotpath
 func (r OpRef) ObserveSince(start time.Time) {
 	if c := r.cell; c != nil {
 		c.observe(time.Since(start))
@@ -118,6 +131,8 @@ type CounterRef struct {
 
 // Add increments the ref's counter by delta. Safe for concurrent use; a
 // no-op on the zero ref.
+//
+//bdbench:hotpath
 func (r CounterRef) Add(delta int64) {
 	if r.c != nil {
 		r.c.Add(delta)
@@ -182,7 +197,10 @@ type opCell struct {
 
 // observe is the record hot path: a handful of atomic adds, plus two atomic
 // stores into the preallocated sample buffer when capture is on. It must not
-// allocate (TestOpRefSampledZeroAlloc holds it to that).
+// allocate (TestOpRefSampledZeroAlloc holds it to that; bdvet's hotpath
+// analyzer holds it statically).
+//
+//bdbench:hotpath
 func (c *opCell) observe(d time.Duration) {
 	c.hist.Observe(d)
 	if b := c.buf; b != nil {

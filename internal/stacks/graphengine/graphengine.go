@@ -122,21 +122,23 @@ func (e *Engine) Run(g *graphgen.Graph, prog Program, maxSupersteps int) (Result
 	start := time.Now()
 
 	// One private shard per worker, reused across supersteps: only worker w
-	// touches workerShards[w] during a superstep, so compute-time recording
-	// never contends.
-	var workerShards []metrics.Recorder
-	var coord metrics.Recorder
+	// touches computeRefs[w] during a superstep, so compute-time recording
+	// never contends. The OpRefs are resolved here, once, so the superstep
+	// loop records through direct histogram handles instead of per-call
+	// label lookups (bdvet:oprefed enforces this).
+	var computeRefs []metrics.OpRef
+	var superstepRef metrics.OpRef
 	if e.rec != nil {
-		coord = metrics.SubstrateShardOf(e.rec)
-		workerShards = make([]metrics.Recorder, e.workers)
-		for w := range workerShards {
-			workerShards[w] = metrics.SubstrateShardOf(e.rec)
+		superstepRef = metrics.OpRefOf(metrics.SubstrateShardOf(e.rec), "superstep")
+		computeRefs = make([]metrics.OpRef, e.workers)
+		for w := range computeRefs {
+			computeRefs[w] = metrics.OpRefOf(metrics.SubstrateShardOf(e.rec), "compute")
 		}
 	}
 
 	res := Result{}
 	for step := 0; step < maxSupersteps; step++ {
-		stepStart := metrics.StartTimer(coord)
+		stepStart := superstepRef.StartTimer()
 		active := false
 		// Partition vertices across workers; each worker accumulates its
 		// own outboxes to avoid contention, merged after the barrier.
@@ -150,12 +152,12 @@ func (e *Engine) Run(g *graphgen.Graph, prog Program, maxSupersteps int) (Result
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				var rec metrics.Recorder
-				if workerShards != nil {
-					rec = workerShards[w]
+				var computeRef metrics.OpRef
+				if computeRefs != nil {
+					computeRef = computeRefs[w]
 				}
-				computeStart := metrics.StartTimer(rec)
-				defer metrics.ObserveSince(rec, "compute", computeStart)
+				computeStart := computeRef.StartTimer()
+				defer computeRef.ObserveSince(computeStart)
 				lo := n * int64(w) / int64(e.workers)
 				hi := n * int64(w+1) / int64(e.workers)
 				ctx := Context{superstep: step, numVerts: n}
@@ -194,7 +196,7 @@ func (e *Engine) Run(g *graphgen.Graph, prog Program, maxSupersteps int) (Result
 		}
 		totalMsgs += delivered
 		res.Supersteps = step + 1
-		metrics.ObserveSince(coord, "superstep", stepStart)
+		superstepRef.ObserveSince(stepStart)
 		if !active && delivered == 0 {
 			res.Halted = true
 			break

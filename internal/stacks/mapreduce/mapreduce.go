@@ -142,11 +142,18 @@ func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
 	for i := 0; i < e.workers; i++ {
 		slots <- i
 	}
-	var shards []metrics.Recorder
+	// One private shard per worker slot, with the task-latency OpRefs
+	// resolved up front: the per-task goroutines then record through
+	// direct histogram handles, never a per-call label lookup
+	// (bdvet:oprefed enforces this).
+	var mapRefs, reduceRefs []metrics.OpRef
 	if e.rec != nil {
-		shards = make([]metrics.Recorder, e.workers)
-		for i := range shards {
-			shards[i] = metrics.SubstrateShardOf(e.rec)
+		mapRefs = make([]metrics.OpRef, e.workers)
+		reduceRefs = make([]metrics.OpRef, e.workers)
+		for i := 0; i < e.workers; i++ {
+			shard := metrics.SubstrateShardOf(e.rec)
+			mapRefs[i] = metrics.OpRefOf(shard, "map_task")
+			reduceRefs[i] = metrics.OpRefOf(shard, "reduce_task")
 		}
 	}
 
@@ -162,11 +169,11 @@ func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
 			defer wg.Done()
 			slot := <-slots
 			defer func() { slots <- slot }()
-			var rec metrics.Recorder
-			if shards != nil {
-				rec = shards[slot]
+			var taskRef metrics.OpRef
+			if mapRefs != nil {
+				taskRef = mapRefs[slot]
 			}
-			taskStart := metrics.StartTimer(rec)
+			taskStart := taskRef.StartTimer()
 			lo := len(input) * m / numMappers
 			hi := len(input) * (m + 1) / numMappers
 			buckets := make([][]KV, numReducers)
@@ -185,7 +192,7 @@ func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
 				}
 			}
 			mapOut[m] = buckets
-			metrics.ObserveSince(rec, "map_task", taskStart)
+			taskRef.ObserveSince(taskStart)
 		}(m)
 	}
 	wg.Wait()
@@ -234,11 +241,11 @@ func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
 			defer wg.Done()
 			slot := <-slots
 			defer func() { slots <- slot }()
-			var rec metrics.Recorder
-			if shards != nil {
-				rec = shards[slot]
+			var taskRef metrics.OpRef
+			if reduceRefs != nil {
+				taskRef = reduceRefs[slot]
 			}
-			taskStart := metrics.StartTimer(rec)
+			taskStart := taskRef.StartTimer()
 			part := partitions[p]
 			var out []KV
 			emit := func(k, v string) { out = append(out, KV{k, v}) }
@@ -256,7 +263,7 @@ func (e *Engine) Run(job Job, input []KV) ([]KV, Stats, error) {
 				i = j
 			}
 			reduceOut[p] = out
-			metrics.ObserveSince(rec, "reduce_task", taskStart)
+			taskRef.ObserveSince(taskStart)
 		}(p)
 	}
 	wg.Wait()

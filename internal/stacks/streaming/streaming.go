@@ -260,10 +260,13 @@ func (e *Engine) Run(events []streamgen.Event, stages ...Stage) Result {
 		stageWG.Add(1)
 		go func(st Stage, in <-chan Msg, out chan<- Msg) {
 			defer stageWG.Done()
-			shard := metrics.SubstrateShardOf(e.rec)
-			stageStart := metrics.StartTimer(shard)
+			// Resolve the stage's latency ref once, up front: the label is
+			// built per stage (not per message), and the observation below
+			// goes through a direct histogram handle.
+			stageRef := metrics.OpRefOf(metrics.SubstrateShardOf(e.rec), "stage:"+st.Name())
+			stageStart := stageRef.StartTimer()
 			st.Run(in, out)
-			metrics.ObserveSince(shard, "stage:"+st.Name(), stageStart)
+			stageRef.ObserveSince(stageStart)
 		}(st, in, out)
 		in = out
 	}

@@ -127,7 +127,7 @@ func (s Suite) Tasks(p workloads.Params) []engine.Task {
 // over the execution engine with default settings (one worker per CPU, one
 // repetition, no deadline); use RunSuiteEngine for full control.
 func RunSuite(s Suite, p workloads.Params) []SuiteRunResult {
-	return RunSuiteEngine(context.Background(), s, p, engine.Config{})
+	return RunSuiteEngine(context.Background(), s, p, engine.Config{}) //bdvet:allow ctxbg -- public convenience wrapper with no caller context; RunSuiteEngine is the ctx-threading entry point
 }
 
 // RunSuiteEngine executes the suite's inventory on the concurrent execution

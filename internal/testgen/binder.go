@@ -83,14 +83,25 @@ func RunOn(exec Executor, p Prescription, reg *Registry, c *metrics.Collector) (
 	}
 	c.ObserveLatency("load", time.Since(t0))
 
+	// Resolve every step's latency ref and the run counters once, before
+	// the (possibly iterated) step loop: the loop then records through
+	// direct handles instead of per-call label lookups (bdvet:oprefed
+	// enforces this).
+	stepRefs := make([]metrics.OpRef, len(p.Steps))
+	for i, step := range p.Steps {
+		stepRefs[i] = c.Op(step.Op)
+	}
+	opsRef := c.CounterRef("operations")
+	iterRef := c.CounterRef("iterations")
+
 	runSteps := func() error {
-		for _, step := range p.Steps {
+		for i, step := range p.Steps {
 			t := time.Now()
 			if err := exec.Exec(step, reg); err != nil {
 				return fmt.Errorf("testgen: step %q on %s: %w", step.Op, exec.Name(), err)
 			}
-			c.ObserveLatency(step.Op, time.Since(t))
-			c.Add("operations", 1)
+			stepRefs[i].ObserveSince(t)
+			opsRef.Add(1)
 		}
 		return nil
 	}
@@ -106,7 +117,7 @@ func RunOn(exec Executor, p Prescription, reg *Registry, c *metrics.Collector) (
 			if err := runSteps(); err != nil {
 				return nil, err
 			}
-			c.Add("iterations", 1)
+			iterRef.Add(1)
 			cur, err := exec.Result()
 			if err != nil {
 				return nil, err
