@@ -1,0 +1,57 @@
+package bdbench
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/bdbench/bdbench/internal/cluster"
+)
+
+// Distributed mode: a coordinator partitions a scenario's resolved tasks
+// across agents and merges their results into the same Outcome — and, with
+// CoordinateOptions.RunOutput, the same run-blob bytes — a single process
+// would produce for a deterministic (spec, seed). See docs/DISTRIBUTED.md
+// for the wire protocol, partitioning rules and failure semantics.
+
+// AgentOptions configures a benchmark agent.
+type AgentOptions = cluster.AgentOptions
+
+// CoordinateOptions configures a coordinated distributed run: the agent
+// fleet, the failure policy (retries, backoff, per-shard and heartbeat
+// timeouts), and the usual scenario options.
+type CoordinateOptions = cluster.Options
+
+// ServeAgent runs a benchmark agent on addr until ctx is cancelled, then
+// shuts down gracefully (in-flight shards get a bounded drain). Agents are
+// stateless between requests; one agent can serve any number of
+// coordinators.
+func ServeAgent(ctx context.Context, addr string, opts AgentOptions) error {
+	if opts.ToolVersion == "" {
+		opts.ToolVersion = Version
+	}
+	return cluster.ServeAgent(ctx, addr, opts)
+}
+
+// AgentHandler returns the agent's HTTP handler without binding a listener
+// — the embedding point for callers that already run an HTTP server (and
+// for httptest-based fault injection).
+func AgentHandler(opts AgentOptions) http.Handler {
+	if opts.ToolVersion == "" {
+		opts.ToolVersion = Version
+	}
+	return cluster.NewAgent(opts).Handler()
+}
+
+// Coordinate executes the scenario with its Execution step distributed
+// across opts.Agents: tasks are partitioned into shards (global task index
+// i mod shard count), dispatched over the wire protocol with retry and
+// backoff, and reassembled in task order before the ordinary analysis and
+// artifact encoding. A shard no agent can complete makes the run degraded —
+// its tasks report failed and Outcome.Degraded (and the blob's metadata)
+// says why — rather than hanging or silently dropping work.
+func Coordinate(ctx context.Context, s Scenario, opts CoordinateOptions) (*Outcome, error) {
+	if opts.ToolVersion == "" {
+		opts.ToolVersion = Version
+	}
+	return cluster.Coordinate(ctx, s, opts)
+}

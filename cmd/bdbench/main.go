@@ -14,6 +14,8 @@
 //	bdbench datagen             run one corpus generator, print timing+digest
 //	bdbench loadcurve           sweep offered rates, print the latency curve
 //	bdbench run -out run.blob   additionally persist the run as an artifact
+//	bdbench agent               serve scenario shards for a coordinator
+//	bdbench coordinate -agents U  run a scenario distributed across agents
 //	bdbench show run.blob       re-render a saved run artifact
 //	bdbench compare a.blob b.blob  diff two artifacts; exit nonzero on regression
 //	bdbench suites              list available suite emulations
@@ -57,6 +59,10 @@ func main() {
 		err = cmdDatagen(args)
 	case "loadcurve":
 		err = cmdLoadcurve(args)
+	case "agent":
+		err = cmdAgent(args)
+	case "coordinate":
+		err = cmdCoordinate(args)
 	case "compare":
 		err = cmdCompare(args)
 	case "show":
@@ -99,6 +105,15 @@ commands:
                   digest is identical at any -workers value
   loadcurve       sweep open-loop offered rates over one workload and print
                   the throughput-vs-latency curve (p50/p95/p99 per rate)
+  agent           serve scenario shards over HTTP for a coordinator
+                  (-listen addr, -heartbeat period); stateless, stop with
+                  an interrupt (in-flight shards get a bounded drain)
+  coordinate      run a scenario with its Execution step distributed across
+                  agents (-agents url,url,...); takes the run selection,
+                  engine and artifact flags plus -shards, -retries,
+                  -shard-timeout, -heartbeat-timeout, -backoff; a shard no
+                  agent completes degrades the run (reported, nonzero exit)
+                  instead of hanging (see docs/DISTRIBUTED.md)
   show            re-render a saved run artifact (-format text|markdown|json,
                   -meta for the identity line)
   compare         diff two saved run artifacts: workload throughput (or

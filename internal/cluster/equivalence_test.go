@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/bdbench/bdbench/internal/engine"
+	"github.com/bdbench/bdbench/internal/runstore"
+	"github.com/bdbench/bdbench/internal/scenario"
+)
+
+// TestCoordinateMatchesLocalRun is the determinism-equivalence contract:
+// the same (spec, seed) run through a coordinator with 2 and with 4
+// loopback agents produces a run artifact byte-identical to a
+// single-process run — partitioning, the wire round trip and reassembly
+// are invisible in the bytes.
+func TestCoordinateMatchesLocalRun(t *testing.T) {
+	reg := detRegistry(t)
+	dir := t.TempDir()
+	localPath := filepath.Join(dir, "local.blob")
+	if _, err := scenario.Run(context.Background(), detSpec(), localOptions(reg, localPath)); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	localRaw, err := os.ReadFile(localPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRun, err := runstore.Decode(localRaw)
+	if err != nil {
+		t.Fatalf("local blob: %v", err)
+	}
+	if len(localRun.Series) == 0 {
+		t.Fatal("local run captured no series; the equivalence check would be vacuous")
+	}
+
+	for _, agents := range []int{2, 4} {
+		t.Run(fmt.Sprintf("agents=%d", agents), func(t *testing.T) {
+			path := filepath.Join(dir, fmt.Sprintf("dist-%d.blob", agents))
+			urls := startAgents(t, reg, agents)
+			out, err := Coordinate(context.Background(), detSpec(), coordOptions(reg, urls, path))
+			if err != nil {
+				t.Fatalf("coordinate: %v", err)
+			}
+			if len(out.Degraded) != 0 {
+				t.Fatalf("clean run reported degraded: %v", out.Degraded)
+			}
+			if out.Failures != 0 {
+				t.Fatalf("clean run reported %d failures", out.Failures)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, localRaw) {
+				t.Fatalf("distributed blob differs from single-process blob:\n  local       %s\n  distributed %s",
+					runstore.DigestBytes(localRaw), runstore.DigestBytes(raw))
+			}
+		})
+	}
+}
+
+// TestCoordinateForwardsEvents checks the live progress stream: every task
+// start/done pair arrives at the coordinator's OnEvent with its task index
+// remapped into the global (single-process) numbering.
+func TestCoordinateForwardsEvents(t *testing.T) {
+	reg := detRegistry(t)
+	urls := startAgents(t, reg, 2)
+	var mu sync.Mutex
+	starts := map[int]int{}
+	dones := map[int]int{}
+	opts := coordOptions(reg, urls, "")
+	opts.OnEvent = func(e engine.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch e.Kind {
+		case engine.EventTaskStart:
+			starts[e.Task]++
+		case engine.EventTaskDone:
+			dones[e.Task]++
+		}
+	}
+	if _, err := Coordinate(context.Background(), detSpec(), opts); err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for task := 0; task < len(detNames); task++ {
+		if starts[task] != 1 || dones[task] != 1 {
+			t.Fatalf("task %d: %d start / %d done events, want 1/1 (starts=%v dones=%v)",
+				task, starts[task], dones[task], starts, dones)
+		}
+	}
+	if len(starts) != len(detNames) || len(dones) != len(detNames) {
+		t.Fatalf("events for %d/%d tasks, want %d global task indices", len(starts), len(dones), len(detNames))
+	}
+}
+
+// TestCoordinateMoreShardsThanAgents: shards beyond the agent count share
+// agents round-robin, and the artifact is still byte-identical.
+func TestCoordinateMoreShardsThanAgents(t *testing.T) {
+	reg := detRegistry(t)
+	dir := t.TempDir()
+	localPath := filepath.Join(dir, "local.blob")
+	if _, err := scenario.Run(context.Background(), detSpec(), localOptions(reg, localPath)); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	localRaw, err := os.ReadFile(localPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "dist.blob")
+	urls := startAgents(t, reg, 2)
+	opts := coordOptions(reg, urls, path)
+	opts.Shards = 5 // one task per shard, two agents
+	if _, err := Coordinate(context.Background(), detSpec(), opts); err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, localRaw) {
+		t.Fatalf("5-shard blob differs from single-process blob: %s vs %s",
+			runstore.DigestBytes(raw), runstore.DigestBytes(localRaw))
+	}
+}
+
+func TestCoordinateNoAgents(t *testing.T) {
+	if _, err := Coordinate(context.Background(), detSpec(), Options{}); err == nil {
+		t.Fatal("coordinate with no agents succeeded")
+	}
+}
+
+func TestCoordinateCancelledContext(t *testing.T) {
+	reg := detRegistry(t)
+	urls := startAgents(t, reg, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Coordinate(ctx, detSpec(), coordOptions(reg, urls, ""))
+	if err == nil {
+		t.Fatalf("cancelled coordinate succeeded: %+v", out)
+	}
+	if out != nil && len(out.Degraded) > 0 {
+		t.Fatalf("cancellation must abort, not degrade: %v", out.Degraded)
+	}
+}

@@ -1,0 +1,261 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/engine"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/runstore"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	hello := Hello{Protocol: ProtocolVersion, Tool: "bdbench", ToolVersion: "test", SpecDigest: "abc", Seed: 42}
+	accept := Accept{Protocol: ProtocolVersion, ToolVersion: "test", Tasks: 3}
+	if err := WriteFrame(&buf, TypeHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, TypeAccept, accept); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TypeHello {
+		t.Fatalf("type %s, want hello", f.Type)
+	}
+	var gotHello Hello
+	if err := f.Decode(&gotHello); err != nil {
+		t.Fatal(err)
+	}
+	if gotHello != hello {
+		t.Fatalf("hello %+v, want %+v", gotHello, hello)
+	}
+	f, err = ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotAccept Accept
+	if err := f.Decode(&gotAccept); err != nil {
+		t.Fatal(err)
+	}
+	if gotAccept != accept {
+		t.Fatalf("accept %+v, want %+v", gotAccept, accept)
+	}
+	// The stream is drained: the next read is a clean EOF, not an error.
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	in := engine.Event{
+		Kind:     engine.EventRepDone,
+		Workload: "w",
+		Task:     3,
+		Rep:      1,
+		Warmup:   false,
+		Err:      errors.New("boom"),
+		Elapsed:  250 * time.Millisecond,
+	}
+	out := FromEvent(in).ToEvent()
+	if out.Kind != in.Kind || out.Workload != in.Workload || out.Task != in.Task ||
+		out.Rep != in.Rep || out.Warmup != in.Warmup || out.Elapsed != in.Elapsed {
+		t.Fatalf("round trip %+v, want %+v", out, in)
+	}
+	if out.Err == nil || out.Err.Error() != "boom" {
+		t.Fatalf("err %v, want boom (as opaque message)", out.Err)
+	}
+}
+
+func TestTaskResultRoundTrip(t *testing.T) {
+	in := engine.TaskResult{
+		Workload: "det-a",
+		Category: "offline analytics",
+		Median: metrics.Result{
+			Name:       "det-a",
+			Elapsed:    time.Second,
+			Throughput: 120.5,
+			Counters:   map[string]int64{"records": 60},
+			Samples: []metrics.OpSamples{{
+				Op:      "read",
+				Offsets: []int64{1, 2},
+				Values:  []int64{10, 20},
+				Dropped: 1,
+			}},
+		},
+		Throughput: engine.RepSummary{Count: 2, Mean: 120, Min: 119, Max: 121},
+		Err:        errors.New("partial"),
+	}
+	in.Reps = []engine.Rep{{Result: in.Median}, {Result: in.Median, Err: errors.New("rep 1 failed")}}
+
+	w := FromTaskResult(7, in)
+	if w.Task != 7 {
+		t.Fatalf("shard-local task %d, want 7", w.Task)
+	}
+	// Samples travel as series, not inside the Result JSON.
+	if w.Median.Result.Samples != nil {
+		t.Fatal("wire Result still carries raw samples inline")
+	}
+	out := w.ToTaskResult()
+	if out.Workload != in.Workload || out.Category != in.Category || out.Throughput != in.Throughput {
+		t.Fatalf("round trip %+v, want %+v", out, in)
+	}
+	if !reflect.DeepEqual(out.Median.Samples, in.Median.Samples) {
+		t.Fatalf("median samples %+v, want %+v", out.Median.Samples, in.Median.Samples)
+	}
+	if len(out.Reps) != 2 || out.Reps[1].Err == nil || out.Reps[1].Err.Error() != "rep 1 failed" {
+		t.Fatalf("reps %+v", out.Reps)
+	}
+	if out.Err == nil || out.Err.Error() != "partial" {
+		t.Fatalf("err %v", out.Err)
+	}
+}
+
+func TestSeriesConversionRoundTrip(t *testing.T) {
+	in := []metrics.OpSamples{
+		{Op: "read", Offsets: []int64{5, 6}, Values: []int64{50, 60}},
+		{Op: "shuffle", Substrate: true, Offsets: []int64{7}, Values: []int64{70}, Dropped: 3},
+	}
+	series := SeriesOf("w", in)
+	if len(series) != 2 || series[0].Workload != "w" || !series[1].Substrate {
+		t.Fatalf("series %+v", series)
+	}
+	if got := SamplesOf(series); !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip %+v, want %+v", got, in)
+	}
+	if SeriesOf("w", nil) != nil || SamplesOf(nil) != nil {
+		t.Fatal("empty conversions must stay nil")
+	}
+	var _ = []runstore.Series(series) // series are runstore's type, ready to merge
+}
+
+// corruptFrames is the shared corrupt-input table: every entry must fail
+// cleanly in both DecodeFrame and ReadFrame — never panic, never allocate
+// a lying length.
+func corruptFrames(tb testing.TB) map[string][]byte {
+	tb.Helper()
+	good, err := EncodeFrame(TypeAccept, Accept{Protocol: 1, Tasks: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lyingLong := append([]byte(nil), good...)
+	binary.BigEndian.PutUint32(lyingLong, uint32(len(good))) // claims more than remains
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge, MaxFrameSize+1)
+	zero := make([]byte, 8)
+	notJSON := make([]byte, 4+7)
+	binary.BigEndian.PutUint32(notJSON, 7)
+	copy(notJSON[4:], "not-js!")
+	noType := make([]byte, 4)
+	body := []byte(`{"body":{}}`)
+	binary.BigEndian.PutUint32(noType, uint32(len(body)))
+	noType = append(noType, body...)
+	return map[string][]byte{
+		"empty":            {},
+		"short-prefix":     {0, 0, 1},
+		"zero-length":      zero,
+		"length-above-cap": huge,
+		"lying-length":     lyingLong,
+		"truncated-body":   good[:len(good)-3],
+		"not-json":         notJSON,
+		"no-type":          noType,
+	}
+}
+
+func TestDecodeFrameCorrupt(t *testing.T) {
+	for name, raw := range corruptFrames(t) {
+		t.Run(name, func(t *testing.T) {
+			if f, n, err := DecodeFrame(raw); err == nil {
+				t.Fatalf("corrupt input decoded: frame=%+v consumed=%d", f, n)
+			}
+		})
+	}
+}
+
+func TestReadFrameCorrupt(t *testing.T) {
+	for name, raw := range corruptFrames(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := ReadFrame(bytes.NewReader(raw))
+			if len(raw) == 0 {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("empty stream: %v, want clean io.EOF", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corrupt stream read: %+v", f)
+			}
+			if errors.Is(err, io.EOF) && !strings.Contains(err.Error(), "wire:") {
+				t.Fatalf("mid-frame corruption reported as clean EOF: %v", err)
+			}
+		})
+	}
+}
+
+func TestDecodeFrameConsumesExactly(t *testing.T) {
+	a, err := EncodeFrame(TypeSnapshot, Snapshot{Done: 1, Tasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeFrame(TypeError, Error{Message: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(append([]byte(nil), a...), b...)
+	f, n, err := DecodeFrame(stream)
+	if err != nil || f.Type != TypeSnapshot || n != len(a) {
+		t.Fatalf("first decode: %+v n=%d err=%v", f, n, err)
+	}
+	f, n, err = DecodeFrame(stream[n:])
+	if err != nil || f.Type != TypeError || n != len(b) {
+		t.Fatalf("second decode: %+v n=%d err=%v", f, n, err)
+	}
+}
+
+func TestEncodeFrameRejectsOversize(t *testing.T) {
+	if _, err := EncodeFrame(TypeEvent, strings.Repeat("x", MaxFrameSize)); err == nil {
+		t.Fatal("oversize frame encoded")
+	}
+}
+
+// FuzzDecodeFrame holds the defensive-framing line: arbitrary bytes must
+// decode to (frame, consumed, nil) or an error — never a panic, and never
+// a consumed count outside the buffer. Valid decodes must re-encode.
+func FuzzDecodeFrame(f *testing.F) {
+	good, err := EncodeFrame(TypeHello, Hello{Protocol: ProtocolVersion, SpecDigest: "d"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	for _, raw := range corruptFrames(f) {
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		frame, n, err := DecodeFrame(raw)
+		if err != nil {
+			return
+		}
+		if n < 4 || n > len(raw) {
+			t.Fatalf("consumed %d of %d bytes", n, len(raw))
+		}
+		if frame.Type == "" {
+			t.Fatal("decoded frame has no type")
+		}
+		if _, err := EncodeFrame(frame.Type, frame.Body); err != nil {
+			t.Fatalf("valid frame failed to re-encode: %v", err)
+		}
+	})
+}

@@ -58,6 +58,12 @@ type Config struct {
 	// (metrics.EnableSampling). The captured streams surface as
 	// Result.Samples and become the runstore blob's series.
 	SampleCap int
+	// Now, when set, is the clock for repetition timing and sample offsets —
+	// the determinism seam distributed equivalence tests freeze so every
+	// elapsed-derived field (Elapsed, Throughput, sample offsets) reproduces
+	// exactly across processes. Nil means time.Now. Scheduling is unaffected:
+	// workload outputs are (spec, seed)-deterministic regardless.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Warmup < 0 {
 		c.Warmup = 0
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -221,7 +230,7 @@ func Run(ctx context.Context, tasks []Task, cfg Config) []TaskResult {
 // open-loop window when the task carries a load spec).
 func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event)) TaskResult {
 	res := TaskResult{Workload: t.Workload.Name(), Category: t.Category}
-	t0 := time.Now()
+	t0 := cfg.Now()
 	emit(Event{Kind: EventTaskStart, Workload: res.Workload, Task: idx, Rep: -1})
 
 	for i := 0; i < cfg.Warmup; i++ {
@@ -281,7 +290,7 @@ func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event))
 		res.Best = res.Reps[0].Result
 	}
 	emit(Event{Kind: EventTaskDone, Workload: res.Workload, Task: idx, Rep: -1,
-		Err: res.Err, Elapsed: time.Since(t0)})
+		Err: res.Err, Elapsed: cfg.Now().Sub(t0)})
 	return res
 }
 
@@ -295,7 +304,7 @@ func runTask(ctx context.Context, idx int, t Task, cfg Config, emit func(Event))
 func runOpenLoop(ctx context.Context, idx int, t Task, cfg Config, emit func(Event), res TaskResult, t0 time.Time) TaskResult {
 	c := metrics.NewCollector(t.Workload.Name())
 	if cfg.SampleCap > 0 {
-		c.EnableSampling(cfg.SampleCap)
+		c.EnableSamplingClock(cfg.SampleCap, cfg.Now(), cfg.Now)
 	}
 	opts := *t.Load
 	opts.Rec = c
@@ -333,7 +342,7 @@ func runOpenLoop(ctx context.Context, idx int, t Task, cfg Config, emit func(Eve
 	emit(Event{Kind: EventRepDone, Workload: res.Workload, Task: idx, Rep: 0,
 		Err: rep.Err, Elapsed: rep.Result.Elapsed})
 	emit(Event{Kind: EventTaskDone, Workload: res.Workload, Task: idx, Rep: -1,
-		Err: res.Err, Elapsed: time.Since(t0)})
+		Err: res.Err, Elapsed: cfg.Now().Sub(t0)})
 	return res
 }
 
@@ -354,15 +363,15 @@ func runOnce(ctx context.Context, t Task, cfg Config, measured bool) Rep {
 
 	c := metrics.NewCollector(t.Workload.Name())
 	if measured && cfg.SampleCap > 0 {
-		c.EnableSampling(cfg.SampleCap)
+		c.EnableSamplingClock(cfg.SampleCap, cfg.Now(), cfg.Now)
 	}
 	if err := runCtx.Err(); err != nil {
 		// Already expired or cancelled: fail fast without starting the run.
 		return Rep{Result: c.Snapshot(), Err: err}
 	}
-	t0 := time.Now()
+	t0 := cfg.Now()
 	err := awaitRun(runCtx, t, c)
-	c.SetElapsed(time.Since(t0))
+	c.SetElapsed(cfg.Now().Sub(t0))
 	return Rep{Result: c.Snapshot(), Err: err}
 }
 

@@ -16,6 +16,7 @@ var ctxScopes = []string{
 	"internal/suites",
 	"internal/engine",
 	"internal/loadgen",
+	"internal/cluster",
 	"stacks",
 }
 

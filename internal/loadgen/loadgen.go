@@ -48,6 +48,15 @@ type Options struct {
 	// executed operations record their own user-level measurements).
 	Rec metrics.Recorder
 
+	// ShardIndex and ShardCount slice the materialized schedule for
+	// distributed load generation: the run dispatches only arrivals whose
+	// schedule index j satisfies j % ShardCount == ShardIndex, keeping their
+	// absolute offsets, so N shards driving the same (rate, seed) offer
+	// together exactly the single-process schedule (see ShardSchedule).
+	// ShardCount 0 or 1 keeps the whole schedule.
+	ShardIndex int
+	ShardCount int
+
 	// Now and Sleep are injectable for tests; nil means the real clock.
 	// Sleep receives the run's context and must return early when it is
 	// cancelled, so shutdown is never delayed by a pacing sleep.
@@ -252,6 +261,14 @@ func Run(ctx context.Context, opts Options, op func(context.Context) error) (Sta
 	}
 
 	sched := Schedule(proc, opts.Rate, opts.Duration, opts.Seed)
+	if opts.ShardCount < 0 || opts.ShardIndex < 0 ||
+		(opts.ShardCount <= 1 && opts.ShardIndex != 0) ||
+		(opts.ShardCount > 1 && opts.ShardIndex >= opts.ShardCount) {
+		return Stats{}, fmt.Errorf("loadgen: shard %d/%d out of range", opts.ShardIndex, opts.ShardCount)
+	}
+	if opts.ShardCount > 1 {
+		sched = ShardSchedule(sched, opts.ShardIndex, opts.ShardCount)
+	}
 	st := Stats{
 		Arrival:   proc.Name(),
 		Offered:   opts.Rate,
@@ -316,6 +333,24 @@ func Run(ctx context.Context, opts Options, op func(context.Context) error) (Sta
 			st.Dispatched, st.Scheduled, ctx.Err())
 	}
 	return st, nil
+}
+
+// ShardSchedule returns the sub-schedule shard (index, count) dispatches:
+// every count-th arrival starting at the index-th, with absolute offsets
+// preserved. The shards of a schedule partition it exactly — the union of
+// all count sub-schedules, in offset order, is the full schedule — so
+// distributed load generation offers the same intended start times as one
+// process would, just from several dispatchers. count <= 1 returns the
+// schedule unchanged.
+func ShardSchedule(sched []time.Duration, index, count int) []time.Duration {
+	if count <= 1 {
+		return sched
+	}
+	out := make([]time.Duration, 0, max(0, (len(sched)-index+count-1)/count))
+	for j := index; j < len(sched); j += count {
+		out = append(out, sched[j])
+	}
+	return out
 }
 
 // runIsolated invokes op with panic isolation, so one exploding operation

@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShardSchedulePartition: the shards of a schedule interleave back into
+// exactly the single-process schedule — same intended start times, same
+// order, nothing dispatched twice or dropped. Offsets stay absolute, so N
+// shards driving the same (rate, seed) offer the original arrival pattern,
+// not a rescaled one.
+func TestShardSchedulePartition(t *testing.T) {
+	for _, proc := range []Process{Constant{}, Poisson{}} {
+		full := Schedule(proc, 500, time.Second, 99)
+		if len(full) < 10 {
+			t.Fatalf("%s: schedule too short to shard meaningfully (%d)", proc.Name(), len(full))
+		}
+		for count := 1; count <= 5; count++ {
+			shards := make([][]time.Duration, count)
+			for index := 0; index < count; index++ {
+				shards[index] = ShardSchedule(full, index, count)
+			}
+			rebuilt := make([]time.Duration, 0, len(full))
+			for i := 0; i < len(full); i++ {
+				rebuilt = append(rebuilt, shards[i%count][i/count])
+			}
+			if !reflect.DeepEqual(rebuilt, full) {
+				t.Fatalf("%s count=%d: shards do not interleave back into the schedule", proc.Name(), count)
+			}
+		}
+	}
+}
+
+func TestShardScheduleEdges(t *testing.T) {
+	sched := []time.Duration{1, 2, 3}
+	if got := ShardSchedule(sched, 0, 1); !reflect.DeepEqual(got, sched) {
+		t.Fatalf("count=1 altered the schedule: %v", got)
+	}
+	if got := ShardSchedule(sched, 2, 5); !reflect.DeepEqual(got, []time.Duration{3}) {
+		t.Fatalf("shard 2/5 of 3 arrivals = %v, want [3]", got)
+	}
+	if got := ShardSchedule(sched, 4, 5); len(got) != 0 {
+		t.Fatalf("shard 4/5 of 3 arrivals = %v, want empty", got)
+	}
+}
+
+// TestRunShardedDispatch: sharded runs together execute exactly the full
+// schedule's operation count, and each run's Offered rate still reports the
+// configured (not the per-shard) load basis.
+func TestRunShardedDispatch(t *testing.T) {
+	base := Options{
+		Rate:     2000,
+		Duration: 50 * time.Millisecond,
+		Seed:     7,
+		Sleep:    func(context.Context, time.Duration) {}, // dispatch immediately
+	}
+	want := len(Schedule(Constant{}, base.Rate, base.Duration, base.Seed))
+	const count = 3
+	var total atomic.Int64
+	for index := 0; index < count; index++ {
+		opts := base
+		opts.ShardIndex = index
+		opts.ShardCount = count
+		var mine atomic.Int64
+		st, err := Run(context.Background(), opts, func(context.Context) error {
+			mine.Add(1)
+			total.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", index, err)
+		}
+		if got := ShardSchedule(Schedule(Constant{}, base.Rate, base.Duration, base.Seed), index, count); int64(len(got)) != mine.Load() {
+			t.Fatalf("shard %d dispatched %d ops, schedule slice has %d", index, mine.Load(), len(got))
+		}
+		if int64(st.Dispatched) != mine.Load() || st.Scheduled != st.Dispatched {
+			t.Fatalf("shard %d stats report %d/%d scheduled/dispatched, op ran %d times",
+				index, st.Scheduled, st.Dispatched, mine.Load())
+		}
+		if st.Offered != base.Rate {
+			t.Fatalf("shard %d offered %g, want the configured rate %g", index, st.Offered, base.Rate)
+		}
+	}
+	if total.Load() != int64(want) {
+		t.Fatalf("shards dispatched %d ops in total, single-process schedule has %d", total.Load(), want)
+	}
+}
+
+func TestRunShardValidation(t *testing.T) {
+	cases := []struct{ index, count int }{
+		{2, 2}, {-1, 2}, {1, 0}, {0, -1},
+	}
+	for _, tc := range cases {
+		opts := Options{Rate: 100, Duration: 10 * time.Millisecond, ShardIndex: tc.index, ShardCount: tc.count}
+		if _, err := Run(context.Background(), opts, func(context.Context) error { return nil }); err == nil {
+			t.Fatalf("shard %d/%d accepted", tc.index, tc.count)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package runstore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// splitRun carves the sample run into shard-shaped partial runs: shard k
+// keeps every count-th workload summary and every count-th sample of each
+// series — the shape a distributed run's per-shard artifacts have.
+func splitRun(whole *Run, count int) []*Run {
+	shards := make([]*Run, count)
+	for k := range shards {
+		shards[k] = &Run{}
+	}
+	for i, wm := range whole.Meta.Workloads {
+		shards[i%count].Meta.Workloads = append(shards[i%count].Meta.Workloads, wm)
+	}
+	for i, c := range whole.Meta.Corpora {
+		shards[i%count].Meta.Corpora = append(shards[i%count].Meta.Corpora, c)
+	}
+	for _, s := range whole.Series {
+		for k := 0; k < count; k++ {
+			part := Series{Workload: s.Workload, Op: s.Op, Substrate: s.Substrate}
+			for i := k; i < len(s.Samples); i += count {
+				part.Samples = append(part.Samples, s.Samples[i])
+			}
+			if k == 0 {
+				part.Dropped = s.Dropped // drops are counted once, summed on merge
+			}
+			if len(part.Samples) > 0 || part.Dropped > 0 {
+				shards[k].Series = append(shards[k].Series, part)
+			}
+		}
+	}
+	return shards
+}
+
+// TestMergeShardsMatchesWhole: folding shard partials into a base run
+// yields the same canonical encoding — hence the same digest — as the
+// undivided run. Canonical ordering in Encode is what absorbs the arrival
+// order; Merge only has to concatenate streams keyed identically.
+func TestMergeShardsMatchesWhole(t *testing.T) {
+	whole := sampleRun()
+	wantDigest, err := whole.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for count := 1; count <= 3; count++ {
+		merged := &Run{Meta: whole.Meta}
+		merged.Meta.Workloads = nil
+		merged.Meta.Corpora = nil
+		merged.Series = nil
+		for _, shard := range splitRun(sampleRun(), count) {
+			merged.Merge(shard)
+		}
+		got, err := merged.Digest()
+		if err != nil {
+			t.Fatalf("count=%d: %v", count, err)
+		}
+		if got != wantDigest {
+			t.Fatalf("count=%d: merged digest %s, whole %s", count, got, wantDigest)
+		}
+		if !reflect.DeepEqual(merged.Meta.Workloads, whole.Meta.Workloads) {
+			t.Fatalf("count=%d: workload summaries reordered", count)
+		}
+	}
+}
+
+func TestMergeConcatenatesSeriesByKey(t *testing.T) {
+	base := &Run{Series: []Series{
+		{Workload: "w", Op: "read", Samples: []Sample{{Offset: 1, Value: 10}}, Dropped: 2},
+	}}
+	base.Merge(&Run{
+		Meta: Meta{Degraded: []string{"shard 1/2 lost"}},
+		Series: []Series{
+			{Workload: "w", Op: "read", Samples: []Sample{{Offset: 2, Value: 20}}, Dropped: 3},
+			{Workload: "w", Op: "read", Substrate: true, Samples: []Sample{{Offset: 3, Value: 30}}},
+		},
+	})
+	if len(base.Series) != 2 {
+		t.Fatalf("series count %d, want 2 (same key folded, substrate key appended)", len(base.Series))
+	}
+	merged := base.Series[0]
+	if len(merged.Samples) != 2 || merged.Dropped != 5 {
+		t.Fatalf("folded series: %d samples, %d dropped; want 2 and 5", len(merged.Samples), merged.Dropped)
+	}
+	if !base.Series[1].Substrate {
+		t.Fatal("substrate series merged into the user-level stream")
+	}
+	if !reflect.DeepEqual(base.Meta.Degraded, []string{"shard 1/2 lost"}) {
+		t.Fatalf("degraded markers %v", base.Meta.Degraded)
+	}
+}
+
+// TestMergeCopiesNewSeries: appending a shard's series must not alias the
+// shard's backing array — later merges into the same key would otherwise
+// scribble on the shard run.
+func TestMergeCopiesNewSeries(t *testing.T) {
+	shard := &Run{Series: []Series{
+		{Workload: "w", Op: "read", Samples: make([]Sample, 1, 4)},
+	}}
+	base := &Run{}
+	base.Merge(shard)
+	base.Merge(&Run{Series: []Series{
+		{Workload: "w", Op: "read", Samples: []Sample{{Offset: 9, Value: 9}}},
+	}})
+	if len(shard.Series[0].Samples) != 1 {
+		t.Fatalf("shard run mutated by merge: %d samples", len(shard.Series[0].Samples))
+	}
+	if shard.Series[0].Samples[:2][1] == (Sample{Offset: 9, Value: 9}) {
+		t.Fatal("merged append landed in the shard's backing array")
+	}
+}

@@ -134,6 +134,11 @@ type Meta struct {
 	Corpora []Corpus `json:"corpora,omitempty"`
 	// Workloads summarizes every workload for throughput comparison.
 	Workloads []WorkloadMeta `json:"workloads,omitempty"`
+	// Degraded lists the slices of a distributed run whose results were
+	// permanently lost (e.g. "shard 2/4 lost after 3 attempts: ..."); empty
+	// for complete runs. A degraded blob is still a valid artifact — the
+	// marker is what distinguishes "partial by failure" from "complete".
+	Degraded []string `json:"degraded,omitempty"`
 	// Payload is the kind-specific full result document (scenario Outcome,
 	// LoadCurve, benchdiff Results), preserved verbatim so a saved run
 	// re-renders exactly as the live one did.
@@ -171,6 +176,40 @@ func (r *Run) canonicalize() {
 		}
 		return !ss[a].Substrate && ss[b].Substrate
 	})
+}
+
+// Merge folds one shard's partial run into r — the distributed-run merge
+// entry point. Workload summaries, corpora and degraded markers are
+// appended; series sharing a (workload, op, substrate) key have their
+// sample streams concatenated and drop counts summed, exactly as one
+// collector's shards fold at snapshot time. No new encoding is involved:
+// Encode's canonicalization (series sorted by key, samples by (offset,
+// value)) is what makes the merged blob's bytes independent of the order
+// shards arrive in.
+func (r *Run) Merge(shard *Run) {
+	r.Meta.Workloads = append(r.Meta.Workloads, shard.Meta.Workloads...)
+	r.Meta.Corpora = append(r.Meta.Corpora, shard.Meta.Corpora...)
+	r.Meta.Degraded = append(r.Meta.Degraded, shard.Meta.Degraded...)
+	for _, s := range shard.Series {
+		if dst := r.findSeriesKey(s.Workload, s.Op, s.Substrate); dst != nil {
+			dst.Samples = append(dst.Samples, s.Samples...)
+			dst.Dropped += s.Dropped
+			continue
+		}
+		cp := s
+		cp.Samples = append([]Sample(nil), s.Samples...)
+		r.Series = append(r.Series, cp)
+	}
+}
+
+func (r *Run) findSeriesKey(workload, op string, substrate bool) *Series {
+	for i := range r.Series {
+		s := &r.Series[i]
+		if s.Workload == workload && s.Op == op && s.Substrate == substrate {
+			return s
+		}
+	}
+	return nil
 }
 
 // FindSeries returns the series for (workload, op), or nil.

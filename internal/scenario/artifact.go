@@ -42,6 +42,14 @@ func CaptureEnv() runstore.Environment {
 // exactly, and one series per captured per-op latency stream. toolVersion
 // identifies the writing binary (bdbench.Version via the public API).
 func BuildArtifact(out *Outcome, toolVersion string) (*runstore.Run, error) {
+	return BuildArtifactAt(out, toolVersion, time.Now().Unix())
+}
+
+// BuildArtifactAt is BuildArtifact with an explicit CreatedUnix stamp — the
+// seam that lets a coordinator (or a determinism test) pin the one
+// wall-clock field BuildArtifact would otherwise read from time.Now, so two
+// runs of the same deterministic scenario encode to identical bytes.
+func BuildArtifactAt(out *Outcome, toolVersion string, createdUnix int64) (*runstore.Run, error) {
 	digest, err := SpecDigest(out.Spec)
 	if err != nil {
 		return nil, err
@@ -58,8 +66,9 @@ func BuildArtifact(out *Outcome, toolVersion string) (*runstore.Run, error) {
 			ToolVersion: toolVersion,
 			SpecDigest:  digest,
 			Seed:        out.Spec.Seed,
-			CreatedUnix: time.Now().Unix(),
+			CreatedUnix: createdUnix,
 			Env:         CaptureEnv(),
+			Degraded:    out.Degraded,
 			Payload:     payload,
 		},
 	}
@@ -110,8 +119,8 @@ func AppendOutcome(run *runstore.Run, out *Outcome, label func(*Result) string) 
 
 // writeArtifact builds and writes the run blob for a finished outcome —
 // the bracket at the end of every scenario run that has a RunOutput path.
-func writeArtifact(path string, out *Outcome, toolVersion string) error {
-	run, err := BuildArtifact(out, toolVersion)
+func writeArtifact(path string, out *Outcome, toolVersion string, createdUnix int64) error {
+	run, err := BuildArtifactAt(out, toolVersion, createdUnix)
 	if err != nil {
 		return err
 	}

@@ -87,6 +87,11 @@ type Outcome struct {
 	Probes []SuiteProbe `json:"probes,omitempty"`
 	// Failures counts workloads whose every repetition failed or errored.
 	Failures int `json:"failures"`
+	// Degraded lists the slices of a distributed run whose results were
+	// permanently lost (a shard no agent could complete); empty for local
+	// runs and for distributed runs that completed everywhere. The lost
+	// tasks are also counted in Failures — Degraded records *why*.
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 // VeracityLevel combines the probed suites' veracity levels: the best level
@@ -129,6 +134,21 @@ type LoadOverride struct {
 	Duration time.Duration
 }
 
+// Executor runs the Execution step's resolved tasks and returns one
+// TaskResult per task, in task order — the seam a distributed coordinator
+// replaces. n is the normalized spec the tasks were resolved from, so an
+// executor can re-derive shard assignments; cfg is the engine configuration
+// a local run would use. The degraded return lists slices whose results
+// were permanently lost (their TaskResults must still be present, with Err
+// set); a non-nil error aborts the run as a whole — reserved for total
+// failures such as a cancelled context, not per-task errors.
+//
+// The default executor is the in-process engine. Everything around Step 4
+// (planning, probes, analysis, artifact encoding) runs the same code either
+// way, which is what makes a distributed run's artifact byte-identical to a
+// local run's for the same deterministic inputs.
+type Executor func(ctx context.Context, n Spec, tasks []engine.Task, cfg engine.Config) (results []engine.TaskResult, degraded []string, err error)
+
 // Options tunes a Run beyond what the spec declares.
 type Options struct {
 	// Registry resolves the spec's names; nil means Default().
@@ -160,6 +180,19 @@ type Options struct {
 	// ToolVersion stamps the artifact's writer (bdbench.Version through the
 	// public API).
 	ToolVersion string
+	// Execute, when set, replaces the Execution step's direct engine call —
+	// the distributed coordinator's entry point. Nil runs the in-process
+	// engine.
+	Execute Executor
+	// Now, when set, is the clock for step-trace durations and the engine's
+	// repetition timing (engine.Config.Now) — the determinism seam
+	// equivalence tests freeze so elapsed-derived fields reproduce exactly.
+	// Nil means time.Now.
+	Now func() time.Time
+	// Stamp, when nonzero, overrides the artifact's CreatedUnix — paired
+	// with Now when a test needs two runs to produce identical bytes. Zero
+	// stamps the wall clock.
+	Stamp int64
 }
 
 // Run executes the five-step benchmarking process for the spec: validate
@@ -214,13 +247,17 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		}
 	}
 	n := spec.Normalized()
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
 	out := &Outcome{Spec: n}
 	record := func(s Step, detail string, t0 time.Time) {
-		out.Steps = append(out.Steps, StepTrace{Step: s, Detail: detail, Duration: time.Since(t0)})
+		out.Steps = append(out.Steps, StepTrace{Step: s, Detail: detail, Duration: now().Sub(t0)})
 	}
 
 	// Step 1: Planning — validate the spec and resolve the selection.
-	t0 := time.Now()
+	t0 := now()
 	tasks, err := n.Tasks(reg)
 	if err != nil {
 		return nil, err
@@ -235,7 +272,7 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	t1 := time.Now()
+	t1 := now()
 	probed := map[string]bool{}
 	var suiteNames []string
 	for _, t := range tasks {
@@ -268,7 +305,7 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 
 	// Step 3: Test generation — the inventory is already materialized by
 	// resolution; record its shape.
-	t2 := time.Now()
+	t2 := now()
 	cats := map[workloads.Category]int{}
 	for _, t := range tasks {
 		cats[t.Category]++
@@ -278,7 +315,7 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	// Step 4: Execution — the concurrent engine schedules the selection
 	// onto a bounded worker pool with the spec's repetition and deadline
 	// settings (plus per-entry repetition overrides).
-	t3 := time.Now()
+	t3 := now()
 	engTasks := make([]engine.Task, len(tasks))
 	for i, t := range tasks {
 		engTasks[i] = engine.Task{Workload: t.Workload, Category: t.Category, Params: t.Params, Reps: t.Reps, Load: t.Load}
@@ -289,13 +326,27 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		Warmup:  n.Warmup,
 		Timeout: time.Duration(n.Timeout),
 		OnEvent: opts.OnEvent,
+		Now:     opts.Now,
 	}
 	if opts.SampleCapacity > 0 {
 		cfg.SampleCap = opts.SampleCapacity
 	} else if opts.RunOutput != "" {
 		cfg.SampleCap = metrics.DefaultSampleCapacity
 	}
-	tr := engine.Run(ctx, engTasks, cfg)
+	execute := opts.Execute
+	if execute == nil {
+		execute = func(ctx context.Context, _ Spec, tasks []engine.Task, cfg engine.Config) ([]engine.TaskResult, []string, error) {
+			return engine.Run(ctx, tasks, cfg), nil, nil
+		}
+	}
+	tr, degraded, execErr := execute(ctx, n, engTasks, cfg)
+	if execErr != nil {
+		return nil, fmt.Errorf("scenario: execution: %w", execErr)
+	}
+	if len(tr) != len(engTasks) {
+		return nil, fmt.Errorf("scenario: execution: executor returned %d results for %d tasks", len(tr), len(engTasks))
+	}
+	out.Degraded = degraded
 	out.Results = make([]Result, len(tr))
 	for i, r := range tr {
 		out.Results[i] = Result{
@@ -329,7 +380,7 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	// so they are accumulated separately and never averaged together: a
 	// category summarizes its closed-loop results when it has any, and its
 	// achieved rates only when it ran entirely open-loop.
-	t4 := time.Now()
+	t4 := now()
 	out.Summary = map[workloads.Category]float64{}
 	type acc struct {
 		sum float64
@@ -375,7 +426,11 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	// succeeded.
 	var artErr error
 	if opts.RunOutput != "" {
-		artErr = writeArtifact(opts.RunOutput, out, opts.ToolVersion)
+		stamp := opts.Stamp
+		if stamp == 0 {
+			stamp = now().Unix()
+		}
+		artErr = writeArtifact(opts.RunOutput, out, opts.ToolVersion, stamp)
 	}
 	if out.Failures > 0 {
 		return out, fmt.Errorf("scenario: %d workload(s) failed", out.Failures)

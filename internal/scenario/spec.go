@@ -148,6 +148,15 @@ type Spec struct {
 	// set). Setting it without a Rate anywhere in the spec is an error.
 	Duration Duration `json:"duration,omitempty"`
 
+	// ShardIndex and ShardCount place this spec inside a distributed run:
+	// when ShardCount > 1, Tasks resolves the full selection and keeps only
+	// the tasks whose global index i satisfies i % ShardCount == ShardIndex
+	// (see ShardIndices). The coordinator stamps these onto the copy each
+	// agent receives; the union of all shards is exactly the unsharded
+	// selection. Zero values (the default) mean "the whole scenario".
+	ShardIndex int `json:"shardIndex,omitempty"`
+	ShardCount int `json:"shardCount,omitempty"`
+
 	// Parallel bounds how many workloads the engine runs concurrently
 	// (default: one per CPU).
 	Parallel int `json:"parallel,omitempty"`
@@ -220,6 +229,36 @@ func (s Spec) Normalized() Spec {
 // DefaultLoadWindow is the open-loop scheduling window used when a spec
 // sets a rate without a duration.
 const DefaultLoadWindow = 10 * time.Second
+
+// Unsharded returns the spec with its shard placement cleared — the
+// scenario identity shared by every shard of a distributed run. SpecDigest
+// of the unsharded spec is what the coordinator/agent handshake compares,
+// so one digest names the run no matter which slice an agent executes.
+func (s Spec) Unsharded() Spec {
+	s.ShardIndex = 0
+	s.ShardCount = 0
+	return s
+}
+
+// ShardIndices returns the global task indices shard (index, count) owns:
+// every count-th index starting at index. The shards of a run partition
+// [0, total) exactly — no index is owned twice or dropped — which is what
+// lets a coordinator reassemble per-shard results into the single-process
+// task order.
+func ShardIndices(total, index, count int) []int {
+	if count <= 1 {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+	for i := index; i < total; i += count {
+		out = append(out, i)
+	}
+	return out
+}
 
 // openLoop reports whether any part of the spec asks for open-loop load
 // generation (a positive scenario-wide or per-entry rate).
@@ -312,6 +351,11 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 		return nil, fmt.Errorf("scenario: negative load settings (rate=%g duration=%v) in %s",
 			n.Rate, time.Duration(n.Duration), n)
 	}
+	if n.ShardCount < 0 || n.ShardIndex < 0 ||
+		(n.ShardCount == 0 && n.ShardIndex != 0) ||
+		(n.ShardCount > 0 && n.ShardIndex >= n.ShardCount) {
+		return nil, fmt.Errorf("scenario: shard %d/%d out of range in %s", n.ShardIndex, n.ShardCount, n)
+	}
 	if n.Rate == 0 && !n.openLoop() && (n.Arrival != "" || n.Duration != 0) {
 		return nil, fmt.Errorf("scenario: arrival/duration (arrival=%q duration=%v) set without a rate; "+
 			"set rate on the scenario or an entry to enable open-loop load generation",
@@ -370,6 +414,18 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 				Load:     load,
 			})
 		}
+	}
+	if n.ShardCount > 1 {
+		// Resolve-then-filter keeps the global task order (and Entry
+		// provenance) identical on every shard, so shard-local index k is
+		// always global index ShardIndices(total, index, count)[k].
+		kept := tasks[:0]
+		for i, t := range tasks {
+			if i%n.ShardCount == n.ShardIndex {
+				kept = append(kept, t)
+			}
+		}
+		tasks = kept
 	}
 	return tasks, nil
 }

@@ -67,8 +67,53 @@ type Results struct {
 	Note string `json:"note,omitempty"`
 	// Go is the toolchain that ran the benches.
 	Go string `json:"go,omitempty"`
+	// Summary condenses the gated subset into the two numbers the gate
+	// judges, so a snapshot answers "did the hot paths move?" without
+	// re-deriving the filter over the full benchmark map.
+	Summary *Summary `json:"summary,omitempty"`
 	// Benchmarks maps bench name (CPU suffix stripped) to its measurements.
 	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// Summary is the top-level digest of one run's gated benches. Geomean is
+// over absolute ns/op — comparable between two snapshots from the same
+// machine, same caveat as every other absolute time in the file. Allocs
+// are summed, not averaged: the zero-allocation contract makes the sum a
+// meaningful scalar (any nonzero term is a named budget, and growth means
+// a hot path started allocating).
+type Summary struct {
+	// Filter is the comma-separated gate filter the summary was built with.
+	Filter string `json:"filter"`
+	// GatedBenches / TotalBenches count the filter's selection.
+	GatedBenches int `json:"gated_benches"`
+	TotalBenches int `json:"total_benches"`
+	// GeomeanNsPerOp is the geometric mean ns/op of the gated benches.
+	GeomeanNsPerOp float64 `json:"geomean_ns_per_op"`
+	// TotalAllocsPerOp sums allocs/op across gated benches that report it.
+	TotalAllocsPerOp float64 `json:"total_allocs_per_op"`
+}
+
+// summarize builds the Summary for a parsed benchmark map under the given
+// gate filter. Geomean rounds to 3 decimals so snapshots don't churn on
+// float noise in the last bits.
+func summarize(benchmarks map[string]Bench, filters []string) *Summary {
+	s := &Summary{Filter: strings.Join(filters, ","), TotalBenches: len(benchmarks)}
+	var times []float64
+	for _, name := range sortedNames(benchmarks) {
+		if !matchesAny(name, filters) {
+			continue
+		}
+		b := benchmarks[name]
+		s.GatedBenches++
+		times = append(times, b.NsPerOp)
+		if b.AllocsPerOp != nil {
+			s.TotalAllocsPerOp += *b.AllocsPerOp
+		}
+	}
+	if len(times) > 0 {
+		s.GeomeanNsPerOp = math.Round(geomean(times)*1000) / 1000
+	}
+	return s
 }
 
 // benchLine matches one `go test -bench` result line:
@@ -274,9 +319,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	filters := strings.Split(*filter, ",")
 	results := Results{
 		Note:       "ns/op, B/op and allocs/op per benchmark (CPU suffix stripped); produced by internal/tools/benchdiff",
 		Go:         runtime.Version(),
+		Summary:    summarize(cur, filters),
 		Benchmarks: cur,
 	}
 	writeJSON := func(path string) error {
@@ -314,7 +361,6 @@ func run() error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", *baselinePath, err)
 	}
-	filters := strings.Split(*filter, ",")
 	gated, gatedGeo, factor := compare(base.Benchmarks, cur, filters, *calibrate)
 	if len(gated) == 0 {
 		return fmt.Errorf("no gated benches matched both baseline and input (filter %q)", *filter)

@@ -272,6 +272,53 @@ func TestResultsBackCompat(t *testing.T) {
 	}
 }
 
+// TestSummarize pins the snapshot's top-level digest: geomean over the
+// gated benches' absolute ns/op, allocs summed only where reported, and
+// counts that expose how much of the run the filter actually covers.
+func TestSummarize(t *testing.T) {
+	benches := map[string]Bench{
+		"BenchmarkDatagenParallel/text": withAllocs(2000, 12),
+		"BenchmarkCollectorRecord":      withAllocs(8000, 0),
+		"BenchmarkSchedule/constant":    {NsPerOp: 240000}, // no -benchmem data
+		"BenchmarkMapReduceWordCount":   withAllocs(1e7, 5000),
+	}
+	filters := []string{"Datagen", "Collector", "Schedule"}
+	s := summarize(benches, filters)
+	if s.Filter != "Datagen,Collector,Schedule" {
+		t.Fatalf("filter %q", s.Filter)
+	}
+	if s.GatedBenches != 3 || s.TotalBenches != 4 {
+		t.Fatalf("counts %d/%d, want 3/4", s.GatedBenches, s.TotalBenches)
+	}
+	// geomean(2000, 8000, 240000) = cuberoot(2000*8000*240000)
+	want := math.Round(math.Cbrt(2000*8000*240000)*1000) / 1000
+	if math.Abs(s.GeomeanNsPerOp-want) > 1e-6 {
+		t.Fatalf("geomean %v, want %v", s.GeomeanNsPerOp, want)
+	}
+	// The ungated MapReduce allocs stay out; the bench with no data adds 0.
+	if s.TotalAllocsPerOp != 12 {
+		t.Fatalf("total allocs %v, want 12", s.TotalAllocsPerOp)
+	}
+
+	empty := summarize(benches, []string{"NoSuchBench"})
+	if empty.GatedBenches != 0 || empty.GeomeanNsPerOp != 0 || empty.TotalAllocsPerOp != 0 {
+		t.Fatalf("empty gate summary %+v", empty)
+	}
+
+	// The summary travels at the top of the Results JSON.
+	raw, err := json.Marshal(Results{Summary: s, Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Summary == nil || *back.Summary != *s {
+		t.Fatalf("summary round trip %+v, want %+v", back.Summary, s)
+	}
+}
+
 func TestGeomean(t *testing.T) {
 	if g := geomean(nil); g != 1 {
 		t.Fatalf("geomean(nil) = %v", g)
