@@ -13,6 +13,7 @@ import (
 	"github.com/bdbench/bdbench/internal/engine"
 	"github.com/bdbench/bdbench/internal/loadgen"
 	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/opcompose"
 	"github.com/bdbench/bdbench/internal/stacks"
 	"github.com/bdbench/bdbench/internal/suites"
 	"github.com/bdbench/bdbench/internal/workloads"
@@ -109,8 +110,44 @@ type LatencySummary = loadgen.LatencySummary
 
 // Arrivals lists the built-in open-loop arrival process names, usable in
 // Scenario.Arrival and WithArrival: "constant", "poisson", "bursty",
-// "ramp".
+// "ramp", "replay" (schedules materialized from a recorded corpus trace;
+// see WithTrace and Scenario.Trace).
 func Arrivals() []string { return loadgen.Processes() }
+
+// Pattern declares a composed workload as an operation mix over a named
+// corpus — the Spec v2 way to benchmark an operation pattern that no
+// built-in workload covers. Set it on Entry.Pattern; the scenario planner
+// compiles it into a Workload whose operation stream is chunk-partitioned
+// and byte-identical at any worker count. See docs/SCENARIO.md for the
+// field reference.
+type Pattern = opcompose.Pattern
+
+// OpWeight is one weighted operation of a pattern or phase.
+type OpWeight = opcompose.OpWeight
+
+// PatternPhase is one phase of a composed pattern: its own operation mix,
+// share of the operation stream, and optional pacing rate.
+type PatternPhase = opcompose.Phase
+
+// Operation is one named operation of the pattern vocabulary. Apply
+// executes it once against the per-chunk context and returns a
+// deterministic fingerprint that folds into the composed workload's
+// pattern digest.
+type Operation = opcompose.Operation
+
+// OpContext is the deterministic execution context an Operation runs in.
+type OpContext = opcompose.OpContext
+
+// RegisterOperation adds a custom operation to the pattern vocabulary.
+// The built-in primitives (Operations' canonical prefix) cannot be
+// replaced: a pattern naming them must mean the same thing everywhere.
+func RegisterOperation(op Operation) error { return opcompose.Register(op) }
+
+// Operations returns every operation name usable in a Pattern: the
+// primitive vocabulary ("filter", "aggregate", "join", "scan",
+// "transform", "put", "get") in canonical order, then registered
+// extensions sorted.
+func Operations() []string { return opcompose.Operations() }
 
 // DataGenStat reports one standalone data-generation run: corpus shape,
 // wall time, achieved rate and the SHA-256 digest of the generated bytes.

@@ -86,7 +86,7 @@ func TestLoadThroughPublicAPI(t *testing.T) {
 // TestArrivalsListed pins the public arrival-process names.
 func TestArrivalsListed(t *testing.T) {
 	got := strings.Join(bdbench.Arrivals(), ",")
-	if got != "constant,poisson,bursty,ramp" {
+	if got != "constant,poisson,bursty,ramp,replay" {
 		t.Fatalf("Arrivals() = %s", got)
 	}
 }

@@ -33,6 +33,7 @@ type scenarioFlags struct {
 	rate           *float64
 	arrival        *string
 	duration       *time.Duration
+	trace          *string
 	progress       *bool
 }
 
@@ -50,6 +51,7 @@ func addScenarioFlags(fs *flag.FlagSet) *scenarioFlags {
 		rate:           fs.Float64("rate", 0, "open-loop offered load in ops/s (0 = closed-loop reps mode)"),
 		arrival:        fs.String("arrival", "", "open-loop arrival process: "+strings.Join(bdbench.Arrivals(), "|")),
 		duration:       fs.Duration("duration", 0, "open-loop scheduling window, e.g. 10s (requires -rate)"),
+		trace:          fs.String("trace", "", "corpus whose recorded timestamps drive the replay arrival (requires -rate; implies -arrival replay)"),
 		progress:       fs.Bool("progress", false, "stream per-repetition progress to stderr"),
 	}
 }
@@ -70,6 +72,16 @@ func (sf *scenarioFlags) appliers() map[string]func(*bdbench.Scenario) {
 		"rate":            func(s *bdbench.Scenario) { s.Rate = *sf.rate },
 		"arrival":         func(s *bdbench.Scenario) { s.Arrival = *sf.arrival },
 		"duration":        func(s *bdbench.Scenario) { s.Duration = bdbench.Duration(*sf.duration) },
+		"trace":           func(s *bdbench.Scenario) { s.Trace = *sf.trace },
+	}
+}
+
+// finish applies the cross-flag implications after the appliers ran in
+// either variant: a trace only makes sense under the replay arrival, so
+// -trace alone selects it rather than failing validation.
+func (sf *scenarioFlags) finish(s *bdbench.Scenario) {
+	if s.Trace != "" && s.Arrival == "" {
+		s.Arrival = "replay"
 	}
 }
 
@@ -78,6 +90,7 @@ func (sf *scenarioFlags) apply(s *bdbench.Scenario) {
 	for _, fn := range sf.appliers() {
 		fn(s)
 	}
+	sf.finish(s)
 }
 
 // applySet layers only the flags the user explicitly set onto the
@@ -90,6 +103,7 @@ func (sf *scenarioFlags) applySet(s *bdbench.Scenario) {
 			fn(s)
 		}
 	})
+	sf.finish(s)
 }
 
 // options derives the run options the knobs imply.
@@ -521,6 +535,17 @@ func cmdSuites(args []string) error {
 }
 
 func cmdWorkloads(args []string) error {
+	fs := newFlagSet("workloads")
+	ops := fs.Bool("ops", false, "list the operation-pattern vocabulary instead of registered workloads")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ops {
+		for _, name := range bdbench.Operations() {
+			fmt.Println(name)
+		}
+		return nil
+	}
 	var rows [][]string
 	for _, w := range bdbench.DefaultRegistry().Workloads() {
 		stacks := make([]string, 0, len(w.StackTypes()))

@@ -178,11 +178,14 @@ func opCount(rate float64, d time.Duration) int {
 // Processes returns the built-in arrival process names, in presentation
 // order.
 func Processes() []string {
-	return []string{"constant", "poisson", "bursty", "ramp"}
+	return []string{"constant", "poisson", "bursty", "ramp", "replay"}
 }
 
 // ParseProcess resolves an arrival process by name. The empty string is the
-// constant process, so specs may omit the field.
+// constant process, so specs may omit the field. "replay" resolves to a
+// Replay with no trace — callers that schedule it must inject one (the
+// scenario layer resolves the trace corpus); without a trace it produces no
+// arrivals rather than silently falling back to an analytic process.
 func ParseProcess(name string) (Process, error) {
 	switch name {
 	case "", "constant":
@@ -193,6 +196,8 @@ func ParseProcess(name string) (Process, error) {
 		return Bursty{}, nil
 	case "ramp":
 		return Ramp{}, nil
+	case "replay":
+		return Replay{}, nil
 	default:
 		return nil, fmt.Errorf("loadgen: unknown arrival process %q (have: %s)",
 			name, strings.Join(Processes(), ", "))

@@ -15,6 +15,7 @@ func TestScheduleDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ParseProcess(%q): %v", name, err)
 		}
+		p = withTrace(p)
 		a := Schedule(p, 500, 2*time.Second, 42)
 		b := Schedule(p, 500, 2*time.Second, 42)
 		if len(a) == 0 {
@@ -54,6 +55,7 @@ func TestScheduleWellFormed(t *testing.T) {
 	want := rate * window.Seconds()
 	for _, name := range Processes() {
 		p, _ := ParseProcess(name)
+		p = withTrace(p)
 		sched := Schedule(p, rate, window, 7)
 		for i, off := range sched {
 			if off < 0 || off >= window {

@@ -15,6 +15,7 @@ import (
 func BenchmarkSchedule(b *testing.B) {
 	for _, name := range Processes() {
 		p, _ := ParseProcess(name)
+		p = withTrace(p)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sched := Schedule(p, 10000, 10*time.Second, uint64(i))

@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testTrace is a synthetic bursty trace: 10 one-second bursts of 20 events
+// each — enough structure to make resampling observable.
+func testTrace() Trace {
+	offs := make([]time.Duration, 0, 200)
+	for burst := 0; burst < 10; burst++ {
+		base := time.Duration(burst) * time.Second
+		for i := 0; i < 20; i++ {
+			offs = append(offs, base+time.Duration(i)*10*time.Millisecond)
+		}
+	}
+	return Trace{Source: "synthetic", Offsets: offs}
+}
+
+// withTrace injects the synthetic trace into a Replay process; other
+// processes pass through. Tests that loop over Processes() use it so the
+// trace-driven process schedules like the analytic ones.
+func withTrace(p Process) Process {
+	if r, ok := p.(Replay); ok {
+		r.Trace = testTrace()
+		return r
+	}
+	return p
+}
+
+// TestTraceFromLog extracts timestamps from combined-log lines: events are
+// sorted (the weblog corpus's chunked time bases interleave), rebased to
+// zero, and junk lines are skipped.
+func TestTraceFromLog(t *testing.T) {
+	line := func(ts string) string {
+		return fmt.Sprintf(`10.0.0.1 - - [%s] "GET /i HTTP/1.1" 200 123 "-" "bd"`, ts)
+	}
+	raw := strings.Join([]string{
+		line("01/Mar/2014:00:00:05 +0000"),
+		"not a log line",
+		line("01/Mar/2014:00:00:02 +0000"), // out of order on purpose
+		line("01/Mar/2014:00:00:09 +0000"),
+		`10.0.0.2 - - [bad timestamp] "GET / HTTP/1.1" 200 1 "-" "bd"`,
+	}, "\n")
+	tr, err := TraceFromLog("test", []byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 3 * time.Second, 7 * time.Second}
+	if len(tr.Offsets) != len(want) {
+		t.Fatalf("got %d offsets, want %d", len(tr.Offsets), len(want))
+	}
+	for i, off := range tr.Offsets {
+		if off != want[i] {
+			t.Fatalf("offset %d = %v, want %v", i, off, want[i])
+		}
+	}
+	if tr.Span() != 7*time.Second {
+		t.Fatalf("span = %v, want 7s", tr.Span())
+	}
+}
+
+// TestTraceFromLogTooFew: fewer than two timestamped events is an error —
+// there is no arrival structure to replay.
+func TestTraceFromLogTooFew(t *testing.T) {
+	if _, err := TraceFromLog("empty", []byte("no timestamps here")); err == nil {
+		t.Fatal("expected error for a trace with no events")
+	}
+	one := `h - - [01/Mar/2014:00:00:00 +0000] "GET / HTTP/1.1" 200 1 "-" "x"`
+	if _, err := TraceFromLog("one", []byte(one)); err == nil {
+		t.Fatal("expected error for a trace with a single event")
+	}
+}
+
+// TestReplayPreservesBurstStructure: the synthetic trace is silent for the
+// last 80% of each one-second cycle, so a replayed schedule must
+// concentrate arrivals near the burst positions instead of spreading them
+// uniformly. The first half of each replayed second (bursts rescaled onto
+// the window plus jitter slack) must hold the large majority of arrivals.
+func TestReplayPreservesBurstStructure(t *testing.T) {
+	r := Replay{Trace: testTrace()}
+	const rate, window = 100.0, 10 * time.Second
+	sched := Schedule(r, rate, window, 3)
+	if len(sched) == 0 {
+		t.Fatal("empty replay schedule")
+	}
+	inBurst := 0
+	span := r.Trace.Span() // 9.19s: bursts cover the first 190ms of each second
+	for _, off := range sched {
+		// Map the arrival back into trace time; it must land in (or very
+		// near) a burst. Quantile interpolation lets a handful of arrivals
+		// fall inside silent gaps, and jitter adds ~±1ms.
+		tt := time.Duration(float64(off) / float64(window) * float64(span))
+		if tt%time.Second < 250*time.Millisecond {
+			inBurst++
+		}
+	}
+	if frac := float64(inBurst) / float64(len(sched)); frac < 0.85 {
+		t.Fatalf("only %.0f%% of replayed arrivals land in burst windows; trace structure lost", frac*100)
+	}
+}
+
+// TestReplayDeterministicAndSeeded: same seed, same schedule; different
+// seeds differ (the jitter is drawn from the seeded RNG).
+func TestReplayDeterministicAndSeeded(t *testing.T) {
+	r := Replay{Trace: testTrace()}
+	a := Schedule(r, 200, 5*time.Second, 42)
+	b := Schedule(r, 200, 5*time.Second, 42)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d differs across same-seed replays: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Schedule(r, 200, 5*time.Second, 43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical replay schedules")
+	}
+}
+
+// TestReplayEmptyTrace: the zero-value Replay (what ParseProcess returns)
+// must produce no arrivals — never silently fall back to an analytic
+// process.
+func TestReplayEmptyTrace(t *testing.T) {
+	if sched := Schedule(Replay{}, 100, time.Second, 1); len(sched) != 0 {
+		t.Fatalf("empty-trace replay produced %d arrivals, want 0", len(sched))
+	}
+}

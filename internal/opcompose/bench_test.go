@@ -1,0 +1,55 @@
+package opcompose
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/stats"
+)
+
+var benchSink uint64
+
+// BenchmarkComposedDispatch measures the composed workload's per-operation
+// hot path in isolation: phase dispatch, weighted op draw, clocking and
+// the op body over a resident record window, with the observation buffered
+// exactly as Run does — on a fixed clock so time-source cost is excluded.
+// benchdiff gates both ns/op and allocs/op (the steady-state dispatch loop
+// allocates nothing).
+func BenchmarkComposedDispatch(b *testing.B) {
+	w, err := Compile(Pattern{
+		Name:        "bench",
+		Ops:         []OpWeight{{Op: "filter"}, {Op: "aggregate", Weight: 2}, {Op: "scan"}},
+		OpsPerScale: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cw := w.(*composed)
+	base := time.Unix(1000, 0)
+	cw.SetClock(func() time.Time { return base })
+	g := stats.NewRNG(42)
+	records := make([]string, 256)
+	for i := range records {
+		records[i] = fmt.Sprintf("host%d - - [01/Mar/2014:00:00:%02d +0000] \"GET /%s HTTP/1.1\" 200 %d",
+			g.IntN(64), i%60, g.RandomWord(3, 10), g.IntN(4096))
+	}
+	octx := &OpContext{RNG: g, Records: records, Store: make(map[uint64]string, 64)}
+	ph := &cw.phases[0]
+	buf := make([]obs, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := 0
+		if ph.alias != nil {
+			j = ph.alias.Sample(g)
+		}
+		start := cw.now()
+		fp := ph.ops[j].Apply(octx)
+		buf = append(buf, obs{op: int32(j), dur: cw.now().Sub(start)})
+		benchSink ^= fp
+	}
+	if len(buf) != b.N {
+		b.Fatal("observation buffer lost entries")
+	}
+}

@@ -1,0 +1,260 @@
+package opcompose
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/bdbench/bdbench/internal/datagen"
+	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/stacks"
+	"github.com/bdbench/bdbench/internal/stats"
+	"github.com/bdbench/bdbench/internal/workloads"
+)
+
+// chunkOps is the operation count per execution chunk: the unit of
+// parallelism of the composed operation stream, exactly like a datagen
+// chunk is the unit of corpus generation. Each chunk derives its RNG from
+// (seed, chunk index), so the stream's outputs are identical at any worker
+// count.
+const chunkOps = 512
+
+// Compile validates the pattern against the operation and corpus
+// registries and returns the synthetic workload it declares. The workload
+// is indistinguishable from a built-in to everything downstream: it runs
+// on the engine, records through pre-resolved OpRefs under "phase/op"
+// labels, regenerates its corpus from the seed, and its operation stream
+// partitions into chunks whose results are byte-identical at any
+// Workers/DatagenWorkers setting.
+func Compile(p Pattern) (workloads.Workload, error) {
+	n := p.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if n.Name == "" {
+		return nil, fmt.Errorf("opcompose: %s: pattern has no name", n.describe())
+	}
+	if _, ok := datagen.Lookup(n.Corpus); !ok {
+		return nil, fmt.Errorf("opcompose: %s: unknown corpus %q (have: %s)",
+			n.describe(), n.Corpus, strings.Join(datagen.Generators(), ", "))
+	}
+	phases := make([]execPhase, len(n.Phases))
+	for i, ph := range n.Phases {
+		ops := make([]Operation, len(ph.Ops))
+		weights := make([]float64, len(ph.Ops))
+		for j, ow := range ph.Ops {
+			op, ok := Lookup(ow.Op)
+			if !ok {
+				return nil, fmt.Errorf("opcompose: %s: phase %q: unknown operation %q (have: %s)",
+					n.describe(), ph.Name, ow.Op, strings.Join(Operations(), ", "))
+			}
+			ops[j] = op
+			weights[j] = ow.Weight
+		}
+		phases[i] = execPhase{name: ph.Name, ops: ops, frac: ph.Fraction, rate: ph.Rate}
+		if len(ops) > 1 {
+			phases[i].alias = stats.NewAlias(weights)
+		}
+	}
+	return &composed{p: n, phases: phases, now: time.Now}, nil //bdvet:allow detnondet -- production default for the injected latency clock; determinism tests override via SetClock
+}
+
+// execPhase is one compiled phase: resolved operations, a weighted sampler
+// (nil for a single-op phase), and the declared share and pacing.
+type execPhase struct {
+	name  string
+	ops   []Operation
+	alias *stats.Alias
+	frac  float64
+	rate  float64
+}
+
+// composed is a compiled pattern. It satisfies workloads.Workload.
+type composed struct {
+	p      Pattern
+	phases []execPhase
+	// now is the latency clock (default time.Now); SetClock freezes it so
+	// equivalence tests produce byte-identical artifacts.
+	now func() time.Time
+}
+
+// Name implements workloads.Workload.
+func (w *composed) Name() string { return w.p.Name }
+
+// Category implements workloads.Workload.
+func (w *composed) Category() workloads.Category { return workloads.Category(w.p.Category) }
+
+// Domain implements workloads.Workload.
+func (w *composed) Domain() string { return "operation patterns" }
+
+// StackTypes implements workloads.Workload; composed workloads run on the
+// abstract substrate, like prescription workloads on the reference
+// executor.
+func (w *composed) StackTypes() []stacks.Type { return []stacks.Type{stacks.Type("abstract")} }
+
+// SetClock overrides the workload's latency clock — the determinism seam
+// the scenario runner wires to its own Options.Now, so a frozen-clock run
+// records all-zero durations and the artifact bytes depend only on the
+// seed.
+func (w *composed) SetClock(now func() time.Time) { w.now = now }
+
+// obs is one buffered observation: which (phase, op) cell it belongs to
+// and the measured duration. Observations are buffered per chunk and
+// replayed in plan order after the parallel stream completes, so the
+// sample capture order — and with it the artifact bytes — is deterministic
+// at any worker count.
+type obs struct {
+	phase, op int32
+	dur       time.Duration
+}
+
+// chunkResult is one chunk's buffered observations and its fingerprint.
+type chunkResult struct {
+	obs []obs
+	fp  uint64
+}
+
+// fnvOffset and fnvPrime fold chunk fingerprints into the pattern digest.
+const (
+	fnvOffset = 1469598103934665603
+	fnvPrime  = 1099511628211
+)
+
+// Run implements workloads.Workload: generate the corpus through the
+// chunked datagen pipeline, execute the operation stream chunk-parallel,
+// replay the buffered observations in plan order, and record the
+// deterministic pattern digest.
+func (w *composed) Run(ctx context.Context, params workloads.Params, c *metrics.Collector) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	params = params.WithDefaults()
+	cg, ok := datagen.Lookup(w.p.Corpus)
+	if !ok {
+		return fmt.Errorf("opcompose: corpus %q is not registered", w.p.Corpus)
+	}
+	// Datagen elapsed is measured on the workload's own clock (not the
+	// Stat's wall clock) so frozen-clock runs stay byte-identical.
+	t0 := w.now()
+	corpus, stat, err := datagen.Build(cg, params.Seed, params.Scale, params.DatagenWorkers)
+	if err != nil {
+		return fmt.Errorf("opcompose: corpus %q: %w", w.p.Corpus, err)
+	}
+	c.RecordDatagen(w.now().Sub(t0), stat.Items)
+	records := splitLines(corpus)
+	if len(records) == 0 {
+		return fmt.Errorf("opcompose: corpus %q generated no records at scale %d", w.p.Corpus, params.Scale)
+	}
+
+	total := int64(w.p.OpsPerScale) * int64(params.Scale)
+	bounds := phaseBounds(w.phases, total)
+	refs := make([][]metrics.OpRef, len(w.phases))
+	for i, ph := range w.phases {
+		refs[i] = make([]metrics.OpRef, len(ph.ops))
+		for j, op := range ph.ops {
+			refs[i][j] = c.Op(ph.name + "/" + op.Name)
+		}
+	}
+	// One shared token bucket per paced phase: chunks running that phase's
+	// ops all drain it, so the phase's global rate holds at any worker
+	// count. Pacing shapes timing only — never outputs.
+	buckets := make([]*datagen.TokenBucket, len(w.phases))
+	for i, ph := range w.phases {
+		if ph.rate > 0 {
+			buckets[i] = datagen.NewTokenBucket(ph.rate, ph.rate/10+1)
+		}
+	}
+
+	// Decorrelate the op stream from the corpus generator: both derive
+	// chunk RNGs from (seed, chunk index), so give the stream its own root.
+	opSeed := stats.NewRNG(params.Seed).Split("opcompose/"+w.p.Name, 0).Seed()
+	plan := datagen.PlanChunks(total, chunkOps)
+	results, err := datagen.Generate(opSeed, plan, params.Workers, func(g *stats.RNG, ch datagen.Chunk) ([]chunkResult, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res := chunkResult{obs: make([]obs, 0, ch.Len()), fp: fnvOffset}
+		octx := &OpContext{RNG: g, Records: records, Store: make(map[uint64]string, 64)}
+		pi := phaseAt(bounds, ch.Start)
+		for idx := ch.Start; idx < ch.End; idx++ {
+			for idx >= bounds[pi] {
+				pi++
+			}
+			ph := &w.phases[pi]
+			j := 0
+			if ph.alias != nil {
+				j = ph.alias.Sample(g)
+			}
+			if b := buckets[pi]; b != nil {
+				b.Take(1)
+			}
+			start := w.now()
+			fp := ph.ops[j].Apply(octx)
+			res.obs = append(res.obs, obs{phase: int32(pi), op: int32(j), dur: w.now().Sub(start)})
+			res.fp = (res.fp ^ fp) * fnvPrime
+		}
+		return []chunkResult{res}, nil
+	})
+	if err != nil {
+		return fmt.Errorf("opcompose: %w", err)
+	}
+
+	// Replay in plan order: chunk k's observations always land before
+	// chunk k+1's, no matter which workers executed them.
+	var digest uint64 = fnvOffset
+	var done int64
+	for _, r := range results {
+		for _, o := range r.obs {
+			refs[o.phase][o.op].Observe(o.dur)
+		}
+		done += int64(len(r.obs))
+		digest = (digest ^ r.fp) * fnvPrime
+	}
+	c.Add("ops", done)
+	c.Add("records", int64(len(records)))
+	// The digest is the cross-run equivalence witness: same (pattern,
+	// seed, scale) must yield the same value at any worker count, on any
+	// machine. Masked to keep the int64 counter non-negative.
+	c.Add("pattern_digest", int64(digest&(1<<62-1)))
+	return ctx.Err()
+}
+
+// phaseBounds turns phase fractions into cumulative operation-index
+// bounds: phase i owns stream indices [bounds[i-1], bounds[i]). Rounding
+// error lands on the last phase, which always ends at total.
+func phaseBounds(phases []execPhase, total int64) []int64 {
+	bounds := make([]int64, len(phases))
+	cum := 0.0
+	for i, ph := range phases {
+		cum += ph.frac
+		bounds[i] = int64(cum*float64(total) + 0.5)
+	}
+	bounds[len(bounds)-1] = total
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1]
+		}
+	}
+	return bounds
+}
+
+// phaseAt returns the phase owning stream index idx.
+func phaseAt(bounds []int64, idx int64) int {
+	for i, b := range bounds {
+		if idx < b {
+			return i
+		}
+	}
+	return len(bounds) - 1
+}
+
+// splitLines splits the corpus into one record per line, dropping the
+// trailing empty slot of a newline-terminated corpus.
+func splitLines(corpus []byte) []string {
+	records := strings.Split(string(corpus), "\n")
+	for len(records) > 0 && records[len(records)-1] == "" {
+		records = records[:len(records)-1]
+	}
+	return records
+}

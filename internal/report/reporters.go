@@ -30,6 +30,9 @@ func (TextReporter) Report(w io.Writer, o *scenario.Outcome) error {
 	if err := writeLoadTable(w, o, false); err != nil {
 		return err
 	}
+	if err := writePhaseTable(w, o, false); err != nil {
+		return err
+	}
 	return writeSummary(w, o, "")
 }
 
@@ -45,6 +48,9 @@ func (MarkdownReporter) Report(w io.Writer, o *scenario.Outcome) error {
 		return err
 	}
 	if err := writeLoadTable(w, o, true); err != nil {
+		return err
+	}
+	if err := writePhaseTable(w, o, true); err != nil {
 		return err
 	}
 	return writeSummary(w, o, "**")
@@ -179,6 +185,70 @@ func writeLoadTable(w io.Writer, o *scenario.Outcome, markdown bool) error {
 		return err
 	}
 	_, err := io.WriteString(w, render(loadHeaders, rows))
+	return err
+}
+
+// phaseHeaders are the columns of the operation-pattern breakdown. Each
+// row is one (phase, operation) cell of a composed workload's stream.
+var phaseHeaders = []string{"workload", "phase", "op", "count", "mean", "p95", "max"}
+
+// PhaseRows renders one row per (phase, operation) cell of every composed
+// workload in the outcome; empty when no result recorded pattern-style
+// "phase/op" labels. Rows keep the collector's observation order, which is
+// the pattern's declared phase order.
+func PhaseRows(o *scenario.Outcome) [][]string {
+	var rows [][]string
+	for _, r := range o.Results {
+		// Only composed workloads record the pattern digest; its presence
+		// distinguishes their "phase/op" labels from ordinary op names that
+		// happen to contain a slash.
+		if _, ok := r.Result.Counters["pattern_digest"]; !ok {
+			continue
+		}
+		for _, op := range r.Result.Ops {
+			phase, name, ok := cutSlash(op.Op)
+			if !ok || op.Substrate {
+				continue
+			}
+			rows = append(rows, []string{
+				r.Workload, phase, name,
+				fmt.Sprintf("%d", op.Count),
+				roundLatency(op.Mean),
+				roundLatency(op.P95),
+				roundLatency(op.Max),
+			})
+		}
+	}
+	return rows
+}
+
+// cutSlash splits "phase/op" at the first slash.
+func cutSlash(s string) (phase, op string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// writePhaseTable appends the per-phase operation breakdown when any
+// result came from a composed operation pattern.
+func writePhaseTable(w io.Writer, o *scenario.Outcome, markdown bool) error {
+	rows := PhaseRows(o)
+	if len(rows) == 0 {
+		return nil
+	}
+	title := "\noperation pattern breakdown (per phase)\n"
+	render := Table
+	if markdown {
+		title = "\n**operation pattern breakdown (per phase)**\n\n"
+		render = Markdown
+	}
+	if _, err := io.WriteString(w, title); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, render(phaseHeaders, rows))
 	return err
 }
 

@@ -128,10 +128,14 @@ type Reporter interface {
 // CLI's loadcurve sweep. Zero fields keep the spec's values; a positive
 // Rate also clears every per-entry load override, so one override governs
 // the whole selection (a sweep must offer each workload the same rate).
+// A non-empty Trace selects the replay arrival's source corpus and, when
+// no arrival is forced, sets the arrival to "replay" — the mechanism
+// behind bdbench.WithTrace.
 type LoadOverride struct {
 	Rate     float64
 	Arrival  string
 	Duration time.Duration
+	Trace    string
 }
 
 // Executor runs the Execution step's resolved tasks and returns one
@@ -236,6 +240,7 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 				entries[i].Rate = 0
 				entries[i].Arrival = ""
 				entries[i].Duration = 0
+				entries[i].Trace = ""
 			}
 			spec.Entries = entries
 		}
@@ -244,6 +249,12 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		}
 		if l.Duration > 0 {
 			spec.Duration = Duration(l.Duration)
+		}
+		if l.Trace != "" {
+			spec.Trace = l.Trace
+			if spec.Arrival == "" {
+				spec.Arrival = "replay"
+			}
 		}
 	}
 	n := spec.Normalized()
@@ -261,6 +272,16 @@ func run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	tasks, err := n.Tasks(reg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Now != nil {
+		// Workloads compiled from operation patterns measure op latencies on
+		// an injectable clock; pin it to the run's clock so frozen-clock runs
+		// produce byte-identical artifacts.
+		for _, t := range tasks {
+			if cw, ok := t.Workload.(interface{ SetClock(func() time.Time) }); ok {
+				cw.SetClock(opts.Now)
+			}
+		}
 	}
 	record(StepPlanning, fmt.Sprintf("object=%q entries=%d workloads=%d scale=%d seed=%d",
 		n.Name, len(n.Entries), len(tasks), n.Scale, n.Seed), t0)

@@ -10,6 +10,16 @@
 // selects a whole suite. Defaulting happens in one place — Normalized —
 // and Validate rejects everything else (negative sizes, unknown names,
 // empty selections) instead of silently rewriting it.
+//
+// Spec v2 makes the layer compositional: an Entry may, instead of
+// selecting registered workloads, declare an operation Pattern — a
+// weighted mix of primitive operations over a named corpus, compiled by
+// internal/opcompose into a synthetic workload — and the open-loop fields
+// gain a "replay" arrival whose schedule is resampled from a recorded
+// trace (the Trace field names the corpus it is extracted from). A spec
+// without a specVersion is a v1 spec and parses unchanged; Normalized
+// upgrades every spec to the v2 shape, so the rest of the pipeline sees
+// exactly one format.
 package scenario
 
 import (
@@ -17,10 +27,14 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/bdbench/bdbench/internal/datagen"
+	_ "github.com/bdbench/bdbench/internal/datagen/corpora" // traces and patterns resolve builtin corpora by name
 	"github.com/bdbench/bdbench/internal/loadgen"
 	"github.com/bdbench/bdbench/internal/metrics"
+	"github.com/bdbench/bdbench/internal/opcompose"
 	"github.com/bdbench/bdbench/internal/stacks"
 	"github.com/bdbench/bdbench/internal/workloads"
 )
@@ -55,8 +69,16 @@ func (d *Duration) UnmarshalJSON(raw []byte) error {
 
 // Entry is one selection of the spec: it picks workloads from a suite's
 // inventory or from the registry at large, optionally narrowed by name,
-// category, application domain or stack type. Zero override fields inherit
-// the scenario-wide values.
+// category, application domain or stack type — or, with Pattern set,
+// composes a synthetic workload from primitive operations instead of
+// selecting one.
+//
+// Every override field follows the one inheritance rule (see inherit): a
+// field left at its zero value inherits the scenario-wide value, a
+// non-zero field overrides it for this entry's workloads. The rule covers
+// all three override clusters — execution (Scale, Workers, Seed, Reps),
+// open-loop load (Rate, Arrival, Duration, Trace) and composition
+// (Pattern, which is per-entry only and never inherited).
 type Entry struct {
 	// Suite selects from the named suite's inventory; empty means the whole
 	// workload registry.
@@ -73,6 +95,12 @@ type Entry struct {
 	// ("mapreduce", "dbms", "nosql", "streaming", "graph").
 	Stack string `json:"stack,omitempty"`
 
+	// Pattern (spec v2) composes a synthetic workload from a weighted mix
+	// of primitive operations over a registered corpus instead of selecting
+	// registered workloads; it is mutually exclusive with the selection
+	// fields above. See opcompose.Pattern for the shape.
+	Pattern *opcompose.Pattern `json:"pattern,omitempty"`
+
 	// Scale, Workers, Seed and Reps override the scenario-wide settings for
 	// this entry's workloads. Zero inherits.
 	Scale   int    `json:"scale,omitempty"`
@@ -80,13 +108,15 @@ type Entry struct {
 	Seed    uint64 `json:"seed,omitempty"`
 	Reps    int    `json:"reps,omitempty"`
 
-	// Rate, Arrival and Duration override the scenario-wide open-loop load
-	// settings for this entry's workloads (see the Spec fields of the same
-	// names). Zero inherits; a positive Rate on an entry switches its
-	// workloads to open-loop mode even when the scenario is closed-loop.
+	// Rate, Arrival, Duration and Trace override the scenario-wide
+	// open-loop load settings for this entry's workloads (see the Spec
+	// fields of the same names). Zero inherits; a positive Rate on an entry
+	// switches its workloads to open-loop mode even when the scenario is
+	// closed-loop.
 	Rate     float64  `json:"rate,omitempty"`
 	Arrival  string   `json:"arrival,omitempty"`
 	Duration Duration `json:"duration,omitempty"`
+	Trace    string   `json:"trace,omitempty"`
 }
 
 // describe renders the entry's selection for error messages.
@@ -102,10 +132,42 @@ func (e Entry) describe() string {
 	add("category", e.Category)
 	add("domain", e.Domain)
 	add("stack", e.Stack)
+	if e.Pattern != nil {
+		parts = append(parts, "pattern="+e.Pattern.Name)
+	}
 	if len(parts) == 0 {
 		return "select-all"
 	}
 	return strings.Join(parts, " ")
+}
+
+// pick returns the override when it is set (non-zero) and the inherited
+// scenario-wide value otherwise. This one function is the entire
+// inheritance rule.
+func pick[T comparable](override, inherited T) T {
+	var zero T
+	if override != zero {
+		return override
+	}
+	return inherited
+}
+
+// inherit resolves the entry against the normalized scenario: every
+// override field at its zero value takes the scenario-wide value, every
+// non-zero field wins. All three override clusters — execution
+// (Scale/Workers/Seed/Reps), open-loop load (Rate/Arrival/Duration/Trace)
+// and composition (Pattern, per-entry only) — go through this single
+// helper, so the inheritance rule cannot drift between clusters.
+func (e Entry) inherit(n Spec) Entry {
+	e.Scale = pick(e.Scale, n.Scale)
+	e.Workers = pick(e.Workers, n.Workers)
+	e.Seed = pick(e.Seed, n.Seed)
+	e.Reps = pick(e.Reps, n.Reps)
+	e.Rate = pick(e.Rate, n.Rate)
+	e.Arrival = pick(e.Arrival, n.Arrival)
+	e.Duration = pick(e.Duration, n.Duration)
+	e.Trace = pick(e.Trace, n.Trace)
+	return e
 }
 
 // Spec is a declarative benchmark scenario: what to run (Entries) and how
@@ -113,6 +175,13 @@ func (e Entry) describe() string {
 // of every "how" field means "use the default"; Normalized fills defaults
 // exactly once and Validate reports the normalized values it will run with.
 type Spec struct {
+	// SpecVersion is the spec format version. Absent (zero) means v1 — the
+	// pre-composition format, which parses unchanged; 2 is the current
+	// format with pattern entries and trace replay. Normalized always
+	// upgrades to 2 (v2 is a strict superset), so the rest of the pipeline
+	// sees one shape; an explicit 1 combined with v2-only features is an
+	// error.
+	SpecVersion int `json:"specVersion,omitempty"`
 	// Name labels the scenario in reports (the Planning step's
 	// "benchmarking object").
 	Name string `json:"name,omitempty"`
@@ -141,12 +210,18 @@ type Spec struct {
 	// omission. Zero (the default) keeps the closed-loop reps mode.
 	Rate float64 `json:"rate,omitempty"`
 	// Arrival names the arrival process shaping the open-loop schedule:
-	// "constant", "poisson", "bursty" or "ramp" (default "constant").
-	// Setting it without a Rate anywhere in the spec is an error.
+	// "constant", "poisson", "bursty", "ramp" or "replay" (default
+	// "constant"). Setting it without a Rate anywhere in the spec is an
+	// error.
 	Arrival string `json:"arrival,omitempty"`
 	// Duration is the open-loop scheduling window (default 10s when Rate is
 	// set). Setting it without a Rate anywhere in the spec is an error.
 	Duration Duration `json:"duration,omitempty"`
+	// Trace (spec v2) names the registered corpus the "replay" arrival
+	// extracts its recorded schedule from (default "weblog" when a replay
+	// arrival is in play). Setting it with a non-replay arrival — or, like
+	// Arrival, without a Rate anywhere in the spec — is an error.
+	Trace string `json:"trace,omitempty"`
 
 	// ShardIndex and ShardCount place this spec inside a distributed run:
 	// when ShardCount > 1, Tasks resolves the full selection and keeps only
@@ -196,10 +271,15 @@ func (s Spec) MarshalIndent() ([]byte, error) {
 }
 
 // Normalized returns the spec with every defaultable zero field filled:
-// scale 1, stack workers 4, one engine worker per CPU, one repetition.
-// This is the single place defaults are applied — execution uses exactly
-// these values, and Validate reports them.
+// scale 1, stack workers 4, one engine worker per CPU, one repetition. It
+// also upgrades the spec to v2 — SpecVersion is stamped to 2, pattern
+// entries get their own defaults (opcompose.Pattern.Normalized) and names,
+// and a replay arrival defaults its trace corpus — so everything
+// downstream sees exactly one spec shape. This is the single place
+// defaults are applied: execution uses exactly these values, and Validate
+// reports them.
 func (s Spec) Normalized() Spec {
+	s.SpecVersion = 2
 	if s.Scale == 0 {
 		s.Scale = 1
 	}
@@ -223,7 +303,64 @@ func (s Spec) Normalized() Spec {
 			s.Duration = Duration(DefaultLoadWindow)
 		}
 	}
+	if s.Trace == "" && s.replayInPlay() {
+		s.Trace = opcompose.DefaultCorpus
+	}
+	if s.hasPatterns() {
+		// Copy before rewriting: the entries slice shares its backing array
+		// with the caller's spec.
+		entries := append([]Entry(nil), s.Entries...)
+		for i := range entries {
+			if entries[i].Pattern == nil {
+				continue
+			}
+			p := entries[i].Pattern.Normalized()
+			if p.Name == "" {
+				p.Name = fmt.Sprintf("composed-%d", i)
+			}
+			entries[i].Pattern = &p
+		}
+		s.Entries = entries
+	}
 	return s
+}
+
+// replayInPlay reports whether any part of the spec asks for the
+// trace-replay arrival process.
+func (s Spec) replayInPlay() bool {
+	if s.Arrival == "replay" {
+		return true
+	}
+	for _, e := range s.Entries {
+		if e.Arrival == "replay" {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPatterns reports whether any entry composes a pattern workload.
+func (s Spec) hasPatterns() bool {
+	for _, e := range s.Entries {
+		if e.Pattern != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// usesV2 reports whether the spec uses any feature that requires the v2
+// format: pattern entries, trace fields, or the replay arrival.
+func (s Spec) usesV2() bool {
+	if s.Trace != "" || s.hasPatterns() || s.replayInPlay() {
+		return true
+	}
+	for _, e := range s.Entries {
+		if e.Trace != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultLoadWindow is the open-loop scheduling window used when a spec
@@ -343,6 +480,15 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 	if reg == nil {
 		reg = Default()
 	}
+	switch s.SpecVersion {
+	case 0, 1, 2:
+	default:
+		return nil, fmt.Errorf("scenario: unsupported specVersion %d (latest: 2)", s.SpecVersion)
+	}
+	if s.SpecVersion == 1 && s.usesV2() {
+		return nil, fmt.Errorf("scenario: spec declares specVersion 1 but uses v2 features " +
+			"(pattern entries, trace, or the replay arrival); declare specVersion 2 or drop the version")
+	}
 	n := s.Normalized()
 	if n.Scale < 0 || n.Workers < 0 || n.DatagenWorkers < 0 || n.Parallel < 0 || n.Reps < 0 || n.Warmup < 0 || n.Timeout < 0 {
 		return nil, fmt.Errorf("scenario: negative run settings in %s", n)
@@ -356,15 +502,23 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 		(n.ShardCount > 0 && n.ShardIndex >= n.ShardCount) {
 		return nil, fmt.Errorf("scenario: shard %d/%d out of range in %s", n.ShardIndex, n.ShardCount, n)
 	}
-	if n.Rate == 0 && !n.openLoop() && (n.Arrival != "" || n.Duration != 0) {
-		return nil, fmt.Errorf("scenario: arrival/duration (arrival=%q duration=%v) set without a rate; "+
-			"set rate on the scenario or an entry to enable open-loop load generation",
-			n.Arrival, time.Duration(n.Duration))
+	// Load-cluster validation, scenario level. The raw fields are checked —
+	// Normalized legitimately fills arrival/duration/trace defaults when
+	// some rate put the spec in open-loop mode. The entry level runs the
+	// identical check through the same helper in resolveLoad.
+	if !n.openLoop() {
+		if err := loadClusterErr(s.Arrival, s.Duration, s.Trace); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
 	}
 	if n.Arrival != "" {
 		if _, err := loadgen.ParseProcess(n.Arrival); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
+	}
+	if s.Trace != "" && !n.replayInPlay() {
+		return nil, fmt.Errorf("scenario: trace=%q set with arrival=%q; a trace requires the \"replay\" arrival",
+			s.Trace, n.Arrival)
 	}
 	if len(n.Entries) == 0 {
 		return nil, fmt.Errorf("scenario: empty selection: %s has no entries", n)
@@ -379,7 +533,8 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 			return nil, fmt.Errorf("scenario: entry %d (%s): negative load override (rate=%g duration=%v)",
 				i, e.describe(), e.Rate, time.Duration(e.Duration))
 		}
-		load, err := resolveLoad(n, e)
+		r := e.inherit(n)
+		load, err := resolveLoad(e, r)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: entry %d (%s): %w", i, e.describe(), err)
 		}
@@ -390,16 +545,7 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 		if len(resolved) == 0 {
 			return nil, fmt.Errorf("scenario: entry %d (%s): selects no workloads", i, e.describe())
 		}
-		params := workloads.Params{Seed: n.Seed, Scale: n.Scale, Workers: n.Workers, DatagenWorkers: n.DatagenWorkers}
-		if e.Scale > 0 {
-			params.Scale = e.Scale
-		}
-		if e.Workers > 0 {
-			params.Workers = e.Workers
-		}
-		if e.Seed != 0 {
-			params.Seed = e.Seed
-		}
+		params := workloads.Params{Seed: r.Seed, Scale: r.Scale, Workers: r.Workers, DatagenWorkers: n.DatagenWorkers}
 		if load != nil {
 			load.Seed = params.Seed
 		}
@@ -430,38 +576,82 @@ func (s Spec) Tasks(reg *Registry) ([]Task, error) {
 	return tasks, nil
 }
 
-// resolveLoad layers an entry's load overrides onto the normalized
-// scenario-wide settings and returns the open-loop options for the entry's
-// tasks — nil when the entry runs closed-loop. The seed is filled by the
-// caller (it follows the same inheritance as Params.Seed).
-func resolveLoad(n Spec, e Entry) (*loadgen.Options, error) {
-	rate := n.Rate
-	if e.Rate > 0 {
-		rate = e.Rate
+// loadClusterErr is the load-cluster validation shared by the scenario and
+// entry levels: arrival, duration and trace are meaningless without a rate
+// putting their scope in open-loop mode, and silently ignoring them would
+// hide a misconfigured spec. Both levels report the identical condition.
+func loadClusterErr(arrival string, d Duration, trace string) error {
+	if arrival == "" && d == 0 && trace == "" {
+		return nil
 	}
-	if rate == 0 {
-		if e.Arrival != "" || e.Duration != 0 {
-			return nil, fmt.Errorf("load override (arrival=%q duration=%v) without a rate",
-				e.Arrival, time.Duration(e.Duration))
+	return fmt.Errorf("load settings (arrival=%q duration=%v trace=%q) set without a rate; "+
+		"set rate on the scenario or an entry to enable open-loop load generation",
+		arrival, time.Duration(d), trace)
+}
+
+// resolveLoad returns the open-loop options for an entry's tasks — nil when
+// the entry runs closed-loop. raw is the entry as declared and r its
+// resolved view (see Entry.inherit); raw drives validation so an entry
+// declaring arrival/duration/trace while its effective rate stays zero is
+// rejected exactly like the same declaration at scenario level. The seed is
+// filled by the caller (it follows the same inheritance as Params.Seed).
+func resolveLoad(raw, r Entry) (*loadgen.Options, error) {
+	if r.Rate == 0 {
+		if err := loadClusterErr(raw.Arrival, raw.Duration, raw.Trace); err != nil {
+			return nil, err
 		}
 		return nil, nil
 	}
-	arrival := n.Arrival
-	if e.Arrival != "" {
-		arrival = e.Arrival
+	if raw.Trace != "" && r.Arrival != "replay" {
+		return nil, fmt.Errorf("trace=%q set with arrival=%q; a trace requires the \"replay\" arrival",
+			raw.Trace, r.Arrival)
 	}
-	proc, err := loadgen.ParseProcess(arrival)
+	proc, err := loadgen.ParseProcess(r.Arrival)
 	if err != nil {
 		return nil, err
 	}
-	// n is normalized and some rate is in play, so n.Duration (and
-	// n.Arrival) already carry their defaults — defaulting happens exactly
-	// once, in Normalized.
-	window := time.Duration(n.Duration)
-	if e.Duration > 0 {
-		window = time.Duration(e.Duration)
+	if replay, ok := proc.(loadgen.Replay); ok {
+		tr, err := traceFor(r.Trace, r.Seed)
+		if err != nil {
+			return nil, err
+		}
+		replay.Trace = tr
+		proc = replay
 	}
-	return &loadgen.Options{Rate: rate, Arrival: proc, Duration: window}, nil
+	return &loadgen.Options{Rate: r.Rate, Arrival: proc, Duration: time.Duration(r.Duration)}, nil
+}
+
+// traceCache memoizes extracted traces per (corpus, seed): extraction
+// builds the corpus at scale 1, which is worth doing exactly once per
+// process per key.
+var traceCache sync.Map
+
+// traceFor builds the named corpus at scale 1 with the given seed and
+// extracts its arrival trace — the timestamp sequence a replay arrival
+// materializes schedules from.
+func traceFor(corpus string, seed uint64) (loadgen.Trace, error) {
+	if corpus == "" {
+		corpus = opcompose.DefaultCorpus
+	}
+	key := fmt.Sprintf("%s@%d", corpus, seed)
+	if v, ok := traceCache.Load(key); ok {
+		return v.(loadgen.Trace), nil
+	}
+	cg, ok := datagen.Lookup(corpus)
+	if !ok {
+		return loadgen.Trace{}, fmt.Errorf("unknown trace corpus %q (have: %s)",
+			corpus, strings.Join(datagen.Generators(), ", "))
+	}
+	raw, _, err := datagen.Build(cg, seed, 1, 0)
+	if err != nil {
+		return loadgen.Trace{}, fmt.Errorf("trace corpus %q: %w", corpus, err)
+	}
+	tr, err := loadgen.TraceFromLog(corpus, raw)
+	if err != nil {
+		return loadgen.Trace{}, err
+	}
+	traceCache.Store(key, tr)
+	return tr, nil
 }
 
 // candidate pairs a workload with the category it was selected under (the
@@ -472,6 +662,18 @@ type candidate struct {
 }
 
 func resolveEntry(e Entry, reg *Registry) ([]candidate, error) {
+	if e.Pattern != nil {
+		// A pattern entry declares its workload inline; mixing it with the
+		// registry-selection fields would make the selection ambiguous.
+		if e.Suite != "" || e.Workload != "" || e.Category != "" || e.Domain != "" || e.Stack != "" {
+			return nil, fmt.Errorf("pattern entry cannot also select by suite/workload/category/domain/stack")
+		}
+		w, err := opcompose.Compile(*e.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return []candidate{{w: w, cat: w.Category()}}, nil
+	}
 	var pool []candidate
 	if e.Suite != "" {
 		suite, ok := reg.Suite(e.Suite)

@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrimitiveOp names one abstract operation of the BigOP-style composition
+// vocabulary (arXiv:1401.6628): instead of enumerating workloads, a scenario
+// can declare a pattern — a weighted mix of these primitives over a named
+// corpus — and have it compiled into a runnable workload. The vocabulary is
+// deliberately small: the paper's argument is that a handful of primitives
+// spans the behavior space of big-data processing.
+type PrimitiveOp string
+
+// The primitive operation vocabulary.
+const (
+	// OpFilter selects the records of a window matching a probe.
+	OpFilter PrimitiveOp = "filter"
+	// OpAggregate groups a window and folds per-group summaries.
+	OpAggregate PrimitiveOp = "aggregate"
+	// OpJoin matches the keys of two windows against each other.
+	OpJoin PrimitiveOp = "join"
+	// OpScan reads a window of records sequentially.
+	OpScan PrimitiveOp = "scan"
+	// OpTransform maps every record of a window to a derived value.
+	OpTransform PrimitiveOp = "transform"
+	// OpPut writes one record into the key-value substrate.
+	OpPut PrimitiveOp = "put"
+	// OpGet reads one key from the key-value substrate.
+	OpGet PrimitiveOp = "get"
+)
+
+// PrimitiveOps returns the vocabulary in canonical presentation order.
+func PrimitiveOps() []PrimitiveOp {
+	return []PrimitiveOp{OpFilter, OpAggregate, OpJoin, OpScan, OpTransform, OpPut, OpGet}
+}
+
+// ParsePrimitiveOp resolves a primitive operation by name.
+func ParsePrimitiveOp(name string) (PrimitiveOp, error) {
+	for _, op := range PrimitiveOps() {
+		if string(op) == name {
+			return op, nil
+		}
+	}
+	names := make([]string, 0, 7)
+	for _, op := range PrimitiveOps() {
+		names = append(names, string(op))
+	}
+	return "", fmt.Errorf("workloads: unknown primitive operation %q (have: %s)",
+		name, strings.Join(names, ", "))
+}

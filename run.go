@@ -82,6 +82,18 @@ func WithArrival(name string) Option {
 	return func(o *scenario.Options) { loadOverride(o).Arrival = name }
 }
 
+// WithTrace switches an open-loop run to the "replay" arrival and selects
+// the corpus its schedule is materialized from: the corpus is generated at
+// scale 1 with the run's seed, its timestamps are extracted into a trace,
+// and each task's arrivals reproduce the trace's temporal shape — bursts
+// and silences included — rescaled onto the run's rate and duration with
+// deterministic jitter. An explicit WithArrival wins over the implied
+// "replay". Composes with WithLoad or a scenario-declared rate; corpora
+// are listed by DataGenerators (the weblog corpus is the natural source).
+func WithTrace(corpus string) Option {
+	return func(o *scenario.Options) { loadOverride(o).Trace = corpus }
+}
+
 // WithProfile runs the requested profilers around the whole five-step
 // process and writes standard pprof/trace files into dir (created if
 // missing; "" means the current directory). Modes are any of
